@@ -1,0 +1,35 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper through the
+drivers in :mod:`repro.experiments.figures`.  The drivers are deterministic
+but not cheap (they build indexes), so each benchmark runs exactly one round
+via ``benchmark.pedantic`` and the dataset/contact-network cache inside the
+figures module is shared across benchmarks of the same session.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import format_result
+
+
+def run_experiment(benchmark, driver, **kwargs):
+    """Run one experiment driver exactly once under pytest-benchmark."""
+    result = benchmark.pedantic(lambda: driver(**kwargs), rounds=1, iterations=1)
+    # Echo the reproduced table so `pytest -s` shows the paper-style rows.
+    print()
+    print(format_result(result))
+    return result
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _clear_dataset_cache_at_end():
+    yield
+    from repro.experiments.figures import clear_cache
+
+    clear_cache()

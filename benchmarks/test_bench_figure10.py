@@ -1,0 +1,20 @@
+"""Benchmark: Figure 10 — contact network (DN) size vs horizon length."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure10_contact_network_size
+
+from conftest import run_experiment
+
+
+def test_figure10_contact_network_size(benchmark):
+    result = run_experiment(
+        benchmark,
+        figure10_contact_network_size,
+        dataset_names=("rwp-tiny", "rwp-small"),
+        horizon_fractions=(0.5, 1.0),
+    )
+    for name in ("rwp-tiny", "rwp-small"):
+        rows = [row for row in result.rows if row["dataset"] == name]
+        assert rows[0]["dn_vertices"] <= rows[-1]["dn_vertices"]
+        assert rows[0]["dn_edges"] <= rows[-1]["dn_edges"]

@@ -1,0 +1,21 @@
+"""Benchmark: Figure 11 — contact network (DN) construction time."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure11_dn_construction_time
+
+from conftest import run_experiment
+
+
+def test_figure11_dn_construction_time(benchmark):
+    result = run_experiment(
+        benchmark,
+        figure11_dn_construction_time,
+        dataset_names=("rwp-small", "vn-small"),
+        horizon_fractions=(0.5, 1.0),
+    )
+    assert all(row["build_seconds"] >= 0 for row in result.rows)
+    # Longer horizons never build faster by a large margin (noise tolerance 20%).
+    for name in ("rwp-small", "vn-small"):
+        rows = [row for row in result.rows if row["dataset"] == name]
+        assert rows[-1]["build_seconds"] >= 0.5 * rows[0]["build_seconds"]

@@ -1,0 +1,22 @@
+"""Benchmark: Figure 12 — query IO vs disk-partition depth."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure12_partition_depth
+
+from conftest import run_experiment
+
+
+def test_figure12_partition_depth(benchmark):
+    result = run_experiment(
+        benchmark,
+        figure12_partition_depth,
+        dataset_name="rwp-small",
+        depths=(1, 4, 16, 64),
+        num_queries=10,
+    )
+    ios = [row["mean_io"] for row in result.rows]
+    partitions = [row["partitions"] for row in result.rows]
+    # Deeper partitions -> fewer partitions overall.
+    assert partitions == sorted(partitions, reverse=True)
+    assert all(io > 0 for io in ios)

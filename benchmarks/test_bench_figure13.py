@@ -1,0 +1,25 @@
+"""Benchmark: Figure 13 — BM-BFS vs B-BFS vs E-DFS query processing."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure13_traversal_strategies
+
+from conftest import run_experiment
+
+
+def test_figure13_traversal_strategies(benchmark):
+    result = run_experiment(
+        benchmark,
+        figure13_traversal_strategies,
+        dataset_names=("rwp-small", "vn-small"),
+        num_queries=15,
+    )
+    for name in ("rwp-small", "vn-small"):
+        by_strategy = {
+            row["strategy"]: row for row in result.rows if row["dataset"] == name
+        }
+        # The multi-resolution bidirectional traversal never visits more
+        # vertices than the plain bidirectional one, which in turn visits far
+        # fewer than the naive external DFS.
+        assert by_strategy["bm-bfs"]["mean_visited"] <= by_strategy["b-bfs"]["mean_visited"]
+        assert by_strategy["b-bfs"]["mean_visited"] <= by_strategy["e-dfs"]["mean_visited"]

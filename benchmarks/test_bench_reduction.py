@@ -1,0 +1,19 @@
+"""Benchmark: Section 6.2.1.1 — reduction ratio of DN versus TEN."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import reduction_ratio
+
+from conftest import run_experiment
+
+
+def test_reduction_ratio(benchmark):
+    result = run_experiment(
+        benchmark,
+        reduction_ratio,
+        dataset_names=("rwp-small", "vn-small"),
+    )
+    for row in result.rows:
+        assert row["dn_vertices"] < row["ten_vertices"]
+        assert row["dn_edges"] < row["ten_edges"]
+        assert row["vertex_reduction_pct"] > 30.0

@@ -1,0 +1,20 @@
+"""Benchmark: Section 6.1.2 — ReachGrid versus the naive SPJ baseline."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import reachgrid_vs_spj
+
+from conftest import run_experiment
+
+
+def test_reachgrid_vs_spj(benchmark):
+    result = run_experiment(
+        benchmark,
+        reachgrid_vs_spj,
+        dataset_names=("rwp-small", "vn-small"),
+        num_queries=10,
+    )
+    # ReachGrid must beat the materialize-everything baseline on every dataset.
+    for row in result.rows:
+        assert row["reachgrid_mean_io"] < row["spj_mean_io"]
+        assert row["improvement_pct"] > 0

@@ -1,0 +1,12 @@
+"""Benchmark: Table 1 — analytical complexity comparison."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import table1_complexity
+
+from conftest import run_experiment
+
+
+def test_table1_complexity(benchmark):
+    result = run_experiment(benchmark, table1_complexity)
+    assert [row["approach"] for row in result.rows] == ["GRAIL", "ReachGraph", "ReachGrid"]

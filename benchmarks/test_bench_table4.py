@@ -1,0 +1,20 @@
+"""Benchmark: Table 4 — average long-edge degree per resolution."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import table4_average_degree
+
+from conftest import run_experiment
+
+
+def test_table4_average_degree(benchmark):
+    result = run_experiment(
+        benchmark,
+        table4_average_degree,
+        dataset_names=("rwp-small", "vn-small", "vnr"),
+        resolutions=(2, 4, 8, 16, 32),
+    )
+    # Degree grows with resolution for every dataset (Table 4's trend).
+    for name in ("rwp-small", "vn-small", "vnr"):
+        degrees = [row["average_degree"] for row in result.rows if row["dataset"] == name]
+        assert degrees[0] <= degrees[-1]

@@ -1,0 +1,96 @@
+"""Epidemic contact tracing: who could a set of carriers have infected?
+
+This is the paper's motivating public-health scenario (Section 1): a set of
+individuals ``O`` is known to carry a contagious virus, and the health agency
+needs everyone who could have been directly or indirectly contaminated within
+a time window — i.e. the set of individuals *reachable from* any carrier
+through the evolving contact network.
+
+The example builds a random-waypoint population, picks a few index cases, and
+answers the batch of reachability queries two ways:
+
+* with the ReachGraph index (one BM-BFS query per candidate), and
+* with the in-memory reference evaluator (ground truth),
+
+then prints the infection cohort per generation-time window and the IO the
+index paid.
+
+Run with::
+
+    python examples/epidemic_tracing.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ContactConfig,
+    ReachabilityQuery,
+    ReachGraphConfig,
+    RandomWaypointGenerator,
+    TimeInterval,
+    build_contact_network,
+)
+from repro.baselines import reachable_set
+from repro.reachgraph import ReachGraphIndex, ReachGraphQueryProcessor
+
+#: Bluetooth-style proximity threshold for person-to-person transmission (m).
+CONTACT_RANGE_M = 25.0
+
+
+def main() -> None:
+    # A small town: 120 individuals walking for 400 ticks (~40 minutes at the
+    # paper's 6-second sampling period).
+    dataset = RandomWaypointGenerator(
+        num_objects=120,
+        horizon=400,
+        environment_size=(1_000.0, 1_000.0),
+        seed=2024,
+    ).generate()
+    network = build_contact_network(dataset, CONTACT_RANGE_M)
+    print(f"population: {dataset.num_objects} individuals, "
+          f"{network.num_contacts} contacts over {dataset.num_instants} ticks")
+
+    index = ReachGraphIndex(
+        dataset,
+        ReachGraphConfig(),
+        ContactConfig(distance_threshold=CONTACT_RANGE_M),
+        contact_network=network,
+    ).build()
+    processor = ReachGraphQueryProcessor(index)
+
+    index_cases = [3, 57, 101]
+    windows = [TimeInterval(0, 100), TimeInterval(0, 250), TimeInterval(0, 399)]
+
+    for window in windows:
+        # Batch of reachability queries: every individual against every carrier.
+        exposed = set(index_cases)
+        total_io = 0.0
+        for carrier in index_cases:
+            for candidate in dataset.object_ids:
+                if candidate in exposed:
+                    continue
+                result = processor.evaluate(
+                    ReachabilityQuery(carrier, candidate, window)
+                )
+                total_io += result.io
+                if result.reachable:
+                    exposed.add(candidate)
+        # Ground truth via the reference evaluator.
+        truth = set(index_cases)
+        for carrier in index_cases:
+            truth |= reachable_set(network, carrier, window)
+        assert exposed == truth, "index disagrees with ground truth"
+        share = 100.0 * len(exposed) / dataset.num_objects
+        print(
+            f"window {str(window):>10}: {len(exposed):3d} individuals exposed "
+            f"({share:5.1f}% of the population), "
+            f"{total_io:8.1f} normalized IOs for the query batch"
+        )
+
+    print()
+    print("The exposed cohort grows with the tracing window — exactly the "
+          "propagation behaviour reachability queries are designed to audit.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Vehicle surveillance: who has a watch-listed vehicle been in contact with?
+
+The paper's second motivating scenario (Section 1): law-enforcement agencies
+monitor a watch list ``O`` and need everyone who has potentially been in
+contact with any watched vehicle — reachability *to and from* the watch list
+over a DSRC-range contact network of vehicles moving on a road network.
+
+The example also demonstrates the index trade-off the paper studies in
+Figure 14: for the network-constrained vehicle data, ReachGraph comfortably
+beats ReachGrid because the vehicles cluster on a small portion of the
+environment, which defeats the spatial grid's pruning.
+
+Run with::
+
+    python examples/vehicle_surveillance.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ContactConfig,
+    ReachabilityQuery,
+    ReachGraphConfig,
+    ReachGridConfig,
+    RoadNetworkGenerator,
+    TimeInterval,
+    build_contact_network,
+)
+from repro.reachgraph import ReachGraphIndex, ReachGraphQueryProcessor
+from repro.reachgrid import ReachGridIndex, ReachGridQueryProcessor
+from repro.workloads import fixed_length_queries
+
+#: DSRC effective communication range between vehicles (m), per the paper.
+DSRC_RANGE_M = 300.0
+
+
+def main() -> None:
+    dataset = RoadNetworkGenerator(
+        num_objects=60,
+        horizon=400,
+        environment_size=(8_000.0, 8_000.0),
+        seed=99,
+    ).generate()
+    network = build_contact_network(dataset, DSRC_RANGE_M)
+    contact_config = ContactConfig(distance_threshold=DSRC_RANGE_M)
+    print(f"fleet: {dataset.num_objects} vehicles, {network.num_contacts} contacts")
+
+    reachgraph = ReachGraphIndex(
+        dataset, ReachGraphConfig(), contact_config, contact_network=network
+    ).build()
+    graph_queries = ReachGraphQueryProcessor(reachgraph)
+    reachgrid = ReachGridIndex(
+        dataset,
+        ReachGridConfig(temporal_resolution=20, spatial_resolution=4_000.0),
+        contact_config,
+    ).build()
+    grid_queries = ReachGridQueryProcessor(reachgrid)
+
+    # --- 1. watch-list sweep -------------------------------------------------
+    watch_list = [7, 21]
+    window = TimeInterval(50, 350)
+    in_contact_with_watchlist = set()
+    for watched in watch_list:
+        for candidate in dataset.object_ids:
+            if candidate in watch_list:
+                continue
+            forward = graph_queries.evaluate(ReachabilityQuery(watched, candidate, window))
+            backward = graph_queries.evaluate(ReachabilityQuery(candidate, watched, window))
+            if forward.reachable or backward.reachable:
+                in_contact_with_watchlist.add(candidate)
+    print(
+        f"{len(in_contact_with_watchlist)} of {dataset.num_objects - len(watch_list)} "
+        f"vehicles were reachable to/from the watch list during {window}"
+    )
+
+    # --- 2. ReachGrid vs ReachGraph on the same workload ----------------------
+    print()
+    print("index comparison on this vehicle dataset (mean normalized IO per query):")
+    for length in (100, 300):
+        workload = fixed_length_queries(dataset, length=length, count=15, seed=5)
+        grid_io = sum(grid_queries.evaluate(q).io for q in workload) / len(workload)
+        graph_io = sum(graph_queries.evaluate(q).io for q in workload) / len(workload)
+        print(
+            f"  query length {length:3d}: ReachGrid {grid_io:8.2f}   "
+            f"ReachGraph {graph_io:8.2f}"
+        )
+    print()
+    print("ReachGraph wins on network-constrained vehicle data because the "
+          "spatial grid cannot exploit locality when every vehicle shares the "
+          "same few road cells (Section 6.3 of the paper).")
+
+
+if __name__ == "__main__":
+    main()

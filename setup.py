@@ -1,0 +1,4 @@
+"""Setup shim for environments without network access (legacy editable installs)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,18 @@
+"""Baseline reachability evaluation strategies the paper compares against."""
+
+from __future__ import annotations
+
+from .external_traversal import ExternalBfsBaseline, ExternalDfsBaseline
+from .grail import GrailIndex
+from .reference import earliest_arrival, evaluate_reachability, reachable_set
+from .spj import SpjBaseline
+
+__all__ = [
+    "SpjBaseline",
+    "GrailIndex",
+    "ExternalDfsBaseline",
+    "ExternalBfsBaseline",
+    "earliest_arrival",
+    "evaluate_reachability",
+    "reachable_set",
+]

@@ -1,0 +1,95 @@
+"""Reference (in-memory) reachability evaluation.
+
+A straightforward earliest-arrival sweep over the contacts of a contact
+network.  It is *not* one of the paper's competitors; it exists as ground
+truth for tests and as the traversal component of the SPJ baseline
+(materialize the relevant contact network, then traverse it).
+
+The algorithm processes contact validity intervals in time order and
+maintains, for every object, the earliest time at which the item could have
+reached it.  An item moves across a contact ``{a, b}`` with validity
+``[s, e]`` at time ``max(s, arrival(a))`` provided that time is ``<= e`` —
+i.e. the objects are still in contact when the item arrives (contacts are
+bidirectional within a single time instance, Property 5.1).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, Optional, Set
+
+from ..core.types import ObjectId, QueryResult, ReachabilityQuery, TimeInstant, TimeInterval
+from ..contacts.network import Contact, ContactNetwork
+
+__all__ = ["earliest_arrival", "evaluate_reachability", "reachable_set"]
+
+
+def earliest_arrival(
+    contacts: Iterable[Contact],
+    source: ObjectId,
+    interval: TimeInterval,
+    destination: Optional[ObjectId] = None,
+) -> Dict[ObjectId, TimeInstant]:
+    """Earliest time each object becomes reachable from ``source`` in ``interval``.
+
+    Only contacts whose validity overlaps ``interval`` are considered, and the
+    item is released at ``interval.start``.  When ``destination`` is given the
+    sweep stops as soon as it is reached (early termination).
+
+    Returns a mapping from object id to the earliest reach time; the source
+    maps to ``interval.start``.
+    """
+    arrival: Dict[ObjectId, TimeInstant] = {source: interval.start}
+    relevant = [c for c in contacts if c.validity.overlaps(interval)]
+    # Sort by validity start; a contact can hand the item over at any instant
+    # of its validity interval that is >= the carrier's arrival time.
+    relevant.sort(key=lambda c: c.validity.start)
+
+    changed = True
+    # A small fixed-point loop: a single pass in start order is not sufficient
+    # because a long-lived contact can transmit late (after one of its members
+    # is reached by a contact that *starts* later).  Each pass only adds
+    # strictly earlier/new arrivals, so the loop terminates quickly.
+    while changed:
+        changed = False
+        for contact in relevant:
+            lo = max(contact.validity.start, interval.start)
+            hi = min(contact.validity.end, interval.end)
+            if lo > hi:
+                continue
+            a, b = contact.first, contact.second
+            for carrier, receiver in ((a, b), (b, a)):
+                if carrier not in arrival:
+                    continue
+                transmit_time = max(lo, arrival[carrier])
+                if transmit_time > hi:
+                    continue
+                if receiver not in arrival or transmit_time < arrival[receiver]:
+                    arrival[receiver] = transmit_time
+                    changed = True
+                    if destination is not None and receiver == destination:
+                        return arrival
+    return arrival
+
+
+def reachable_set(
+    network: ContactNetwork, source: ObjectId, interval: TimeInterval
+) -> Set[ObjectId]:
+    """All objects reachable from ``source`` during ``interval``."""
+    return set(earliest_arrival(network.contacts, source, interval))
+
+
+def evaluate_reachability(
+    network: ContactNetwork, query: ReachabilityQuery
+) -> QueryResult:
+    """Evaluate a reachability query exactly, entirely in memory."""
+    if query.source == query.destination:
+        return QueryResult(reachable=True, earliest_time=query.interval.start)
+    arrival = earliest_arrival(
+        network.contacts, query.source, query.interval, destination=query.destination
+    )
+    if query.destination in arrival:
+        return QueryResult(
+            reachable=True, earliest_time=arrival[query.destination]
+        )
+    return QueryResult(reachable=False)

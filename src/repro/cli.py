@@ -1,0 +1,109 @@
+"""Command-line entry point: regenerate any table or figure of the paper.
+
+Usage::
+
+    python -m repro.cli list                 # show available experiments
+    python -m repro.cli figure13             # run one experiment
+    python -m repro.cli all --output out.txt # run everything, save the report
+    python -m repro.cli figure14 --quick     # smaller workloads, faster run
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .experiments.figures import EXPERIMENTS
+from .experiments.report import format_result
+
+__all__ = ["main", "build_parser"]
+
+#: Keyword overrides applied in --quick mode (smaller workloads, tiny datasets).
+_QUICK_OVERRIDES = {
+    "figure8": {"dataset_name": "rwp-tiny", "num_queries": 8},
+    "figure9": {"dataset_names": ("rwp-tiny",), "horizon_fractions": (0.5, 1.0)},
+    "figure10": {"dataset_names": ("rwp-tiny",), "horizon_fractions": (0.5, 1.0)},
+    "figure11": {"dataset_names": ("rwp-tiny", "vn-tiny"), "horizon_fractions": (1.0,)},
+    "reduction": {"dataset_names": ("rwp-tiny", "vn-tiny")},
+    "table4": {"dataset_names": ("rwp-tiny", "vn-tiny")},
+    "figure12": {"dataset_name": "rwp-tiny", "depths": (1, 4, 16, 64), "num_queries": 8},
+    "figure13": {"dataset_names": ("rwp-tiny", "vn-tiny"), "num_queries": 8},
+    "spj": {"dataset_names": ("rwp-tiny", "vn-tiny"), "num_queries": 5},
+    "figure14": {"dataset_names": ("rwp-tiny", "vn-tiny"), "lengths": (50, 100, 200), "num_queries": 6},
+    "figure15": {"dataset_names": ("rwp-tiny", "vn-tiny"), "lengths": (50, 100, 200), "num_queries": 6},
+    "table5": {"dataset_names": ("rwp-tiny", "vn-tiny"), "num_queries": 8, "query_length": 100},
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for the experiments CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the tables and figures of 'Efficient Reachability "
+            "Query Evaluation in Large Spatiotemporal Contact Datasets' "
+            "(VLDB 2012) on scaled-down datasets."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (e.g. figure13, table5), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="use tiny datasets and small workloads (seconds instead of minutes)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="also write the report to this file",
+    )
+    return parser
+
+
+def _run_one(name: str, quick: bool) -> str:
+    driver = EXPERIMENTS[name]
+    kwargs = _QUICK_OVERRIDES.get(name, {}) if quick else {}
+    result = driver(**kwargs)
+    return format_result(result)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name, driver in EXPERIMENTS.items():
+            doc = (driver.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:10s} {doc}")
+        return 0
+
+    if args.experiment == "all":
+        names: List[str] = list(EXPERIMENTS)
+    elif args.experiment in EXPERIMENTS:
+        names = [args.experiment]
+    else:
+        parser.error(
+            f"unknown experiment {args.experiment!r}; "
+            f"choose from {', '.join(EXPERIMENTS)} or 'all'/'list'"
+        )
+        return 2  # pragma: no cover - parser.error raises SystemExit
+
+    sections = []
+    for name in names:
+        print(f"running {name} ...", file=sys.stderr)
+        sections.append(_run_one(name, args.quick))
+    report = "\n\n".join(sections)
+    print(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -1,0 +1,146 @@
+"""Spatiotemporal (window trajectory) join.
+
+Contacts are extracted from trajectories by a self-join: for every time
+instance, find all pairs of objects within distance ``dT`` of each other
+(Section 4: ``R(Tp) ⋈_dT R(Tp)``).  A uniform grid hash with cell side ``dT``
+turns the quadratic all-pairs test into a neighbourhood test over 9 cells,
+which is the standard plane-sweep/grid approach used by CPA-style joins.
+
+Two entry points are provided:
+
+* :func:`join_at_instant` — the per-tick join used when building the full
+  contact network offline.
+* :func:`sweep_join` — the time-sweeping join used by ReachGrid's online
+  query processing, which scans a window tick by tick and can stop as soon as
+  a new reachable object is found.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..core.errors import ContactNetworkError
+from ..core.types import ObjectId, Point, TimeInstant, TimeInterval
+from ..trajectory.model import TrajectoryDataset
+from .network import Contact, ContactNetwork
+
+__all__ = [
+    "join_at_instant",
+    "sweep_join",
+    "build_contact_network",
+    "pairs_within_distance",
+]
+
+
+def _grid_key(position: Point, cell_size: float) -> Tuple[int, int]:
+    return (int(position.x // cell_size), int(position.y // cell_size))
+
+
+def pairs_within_distance(
+    positions: Dict[ObjectId, Point], threshold: float
+) -> List[Tuple[ObjectId, ObjectId]]:
+    """All unordered pairs of objects within ``threshold`` of each other.
+
+    Uses a uniform grid hash with cell side ``threshold`` so that only the 3x3
+    neighbourhood of each cell needs to be examined.
+    """
+    if threshold <= 0:
+        raise ContactNetworkError("distance threshold must be positive")
+    cells: Dict[Tuple[int, int], List[ObjectId]] = defaultdict(list)
+    for object_id, position in positions.items():
+        cells[_grid_key(position, threshold)].append(object_id)
+
+    threshold_sq = threshold * threshold
+    pairs: List[Tuple[ObjectId, ObjectId]] = []
+    for (cx, cy), members in cells.items():
+        # Pairs inside the same cell.
+        for i, a in enumerate(members):
+            pa = positions[a]
+            for b in members[i + 1 :]:
+                pb = positions[b]
+                dx = pa.x - pb.x
+                dy = pa.y - pb.y
+                if dx * dx + dy * dy <= threshold_sq:
+                    pairs.append((a, b) if a < b else (b, a))
+        # Pairs with forward neighbour cells (each unordered cell pair once).
+        for dx_cell, dy_cell in ((1, -1), (1, 0), (1, 1), (0, 1)):
+            neighbour = cells.get((cx + dx_cell, cy + dy_cell))
+            if not neighbour:
+                continue
+            for a in members:
+                pa = positions[a]
+                for b in neighbour:
+                    pb = positions[b]
+                    dx = pa.x - pb.x
+                    dy = pa.y - pb.y
+                    if dx * dx + dy * dy <= threshold_sq:
+                        pairs.append((a, b) if a < b else (b, a))
+    return pairs
+
+
+def join_at_instant(
+    dataset: TrajectoryDataset, t: TimeInstant, threshold: float
+) -> List[Tuple[ObjectId, ObjectId]]:
+    """Pairs of objects of ``dataset`` within ``threshold`` at tick ``t``."""
+    return pairs_within_distance(dataset.positions_at(t), threshold)
+
+
+def sweep_join(
+    positions_by_tick: Iterable[Tuple[TimeInstant, Dict[ObjectId, Point]]],
+    threshold: float,
+    left: Optional[Set[ObjectId]] = None,
+) -> Iterator[Tuple[TimeInstant, ObjectId, ObjectId]]:
+    """Sweep a window in time order, yielding contact events as they occur.
+
+    ``positions_by_tick`` provides, for each tick of the window in increasing
+    order, the positions of the candidate objects.  When ``left`` is given,
+    only pairs with at least one member in ``left`` are reported (ReachGrid
+    joins seeds against candidates).  Each event is ``(t, a, b)`` with
+    ``a < b``; the caller can stop consuming the iterator as soon as it has
+    what it needs (early termination).
+    """
+    for t, positions in positions_by_tick:
+        for a, b in pairs_within_distance(positions, threshold):
+            if left is not None and a not in left and b not in left:
+                continue
+            yield (t, a, b)
+
+
+def build_contact_network(
+    dataset: TrajectoryDataset,
+    threshold: float,
+    window: Optional[TimeInterval] = None,
+) -> ContactNetwork:
+    """Materialize the contact network of ``dataset`` (or a sub-window of it).
+
+    The join is evaluated tick by tick; runs of consecutive ticks during which
+    the same pair stays within ``threshold`` are merged into a single contact
+    with a continuous validity interval, as required by Section 3.1.
+    """
+    horizon = window or dataset.horizon
+    horizon = horizon.intersection(dataset.horizon)
+    if horizon is None:
+        raise ContactNetworkError("join window does not overlap the dataset horizon")
+
+    # Open contacts: pair -> start tick of the current continuous run.
+    open_contacts: Dict[Tuple[ObjectId, ObjectId], TimeInstant] = {}
+    finished: List[Contact] = []
+
+    previous_pairs: Set[Tuple[ObjectId, ObjectId]] = set()
+    for t in horizon.instants():
+        current_pairs = set(join_at_instant(dataset, t, threshold))
+        # Pairs that stopped being in contact: close their validity interval.
+        for pair in previous_pairs - current_pairs:
+            start = open_contacts.pop(pair)
+            finished.append(Contact(pair[0], pair[1], TimeInterval(start, t - 1)))
+        # Pairs that just came into contact: open a new validity interval.
+        for pair in current_pairs - previous_pairs:
+            open_contacts[pair] = t
+        previous_pairs = current_pairs
+
+    # Close every contact still open at the end of the window.
+    for pair, start in open_contacts.items():
+        finished.append(Contact(pair[0], pair[1], TimeInterval(start, horizon.end)))
+
+    return ContactNetwork(dataset, finished, distance_threshold=threshold)

@@ -1,0 +1,63 @@
+"""Core value types, configuration, and the high-level engine facade."""
+
+from __future__ import annotations
+
+from .config import (
+    DEFAULT_RESOLUTIONS,
+    ContactConfig,
+    GrailConfig,
+    ReachGraphConfig,
+    ReachGridConfig,
+    StorageConfig,
+)
+from .errors import (
+    ConfigurationError,
+    ContactNetworkError,
+    DatasetError,
+    IndexConstructionError,
+    IndexNotBuiltError,
+    InvalidIntervalError,
+    QueryError,
+    ReproError,
+    StorageError,
+    TrajectoryError,
+    UnknownObjectError,
+)
+from .types import (
+    ObjectId,
+    Point,
+    QueryResult,
+    ReachabilityQuery,
+    TimeInstant,
+    TimeInterval,
+    euclidean_distance,
+    span_of,
+)
+
+__all__ = [
+    "ObjectId",
+    "TimeInstant",
+    "Point",
+    "TimeInterval",
+    "ReachabilityQuery",
+    "QueryResult",
+    "euclidean_distance",
+    "span_of",
+    "StorageConfig",
+    "ContactConfig",
+    "ReachGridConfig",
+    "ReachGraphConfig",
+    "GrailConfig",
+    "DEFAULT_RESOLUTIONS",
+    "ReproError",
+    "ConfigurationError",
+    "StorageError",
+    "TrajectoryError",
+    "UnknownObjectError",
+    "ContactNetworkError",
+    "IndexConstructionError",
+    "IndexNotBuiltError",
+    "QueryError",
+    "InvalidIntervalError",
+    "DatasetError",
+]

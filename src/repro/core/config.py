@@ -1,0 +1,168 @@
+"""Configuration objects for datasets, storage, and index construction.
+
+All tunables from the paper's experimental section are represented here so
+that the benchmark harness can sweep them exactly as the paper does:
+
+* ReachGrid: temporal resolution ``RT`` (ticks per temporal cell) and spatial
+  resolution ``RS`` (metres per spatial cell) — Figure 8.
+* ReachGraph: partition depth ``dp`` and the set of long-edge resolutions —
+  Figure 12 and Table 4.
+* Storage: block size, buffer pool capacity, and the sequential/random IO
+  normalization factor (20 sequential = 1 random).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+from .errors import ConfigurationError
+
+__all__ = [
+    "StorageConfig",
+    "ReachGridConfig",
+    "ReachGraphConfig",
+    "GrailConfig",
+    "ContactConfig",
+    "DEFAULT_RESOLUTIONS",
+]
+
+#: Long-edge resolutions used by the paper's optimal ReachGraph (Section
+#: 6.2.1.4): HN = DN1 ∪ DN2 ∪ ... ∪ DN32.
+DEFAULT_RESOLUTIONS: Tuple[int, ...] = (2, 4, 8, 16, 32)
+
+
+@dataclass(frozen=True, slots=True)
+class StorageConfig:
+    """Parameters of the simulated disk and buffer pool.
+
+    Attributes
+    ----------
+    block_size:
+        Capacity of a disk block in *record slots* (the paper's 4 KiB page
+        expressed in fixed-size records; see :mod:`repro.storage.blockfile`).
+        The default of 16 keeps the blocks-per-dataset ratio of the scaled
+        datasets comparable to the paper's multi-hundred-GB testbed, so the
+        random/sequential IO trade-offs keep their shape.
+    buffer_blocks:
+        Number of blocks the LRU buffer pool can hold.
+    sequential_cost:
+        How many sequential accesses cost as much as one random access.  The
+        paper normalizes with a factor of 20 (citing Corral et al.).
+    """
+
+    block_size: int = 16
+    buffer_blocks: int = 256
+    sequential_cost: int = 20
+
+    def __post_init__(self) -> None:
+        if self.block_size <= 0:
+            raise ConfigurationError("block_size must be positive")
+        if self.buffer_blocks <= 0:
+            raise ConfigurationError("buffer_blocks must be positive")
+        if self.sequential_cost <= 0:
+            raise ConfigurationError("sequential_cost must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class ContactConfig:
+    """Parameters of contact extraction (the window trajectory join).
+
+    ``distance_threshold`` is the paper's ``dT``: 25 m for Bluetooth-style
+    individual contacts (RWP datasets), 300 m for DSRC vehicle contacts (VN
+    datasets).
+    """
+
+    distance_threshold: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.distance_threshold <= 0:
+            raise ConfigurationError("distance_threshold must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class ReachGridConfig:
+    """ReachGrid construction parameters.
+
+    Attributes
+    ----------
+    temporal_resolution:
+        Number of time instances per temporal grid interval (the paper's
+        optimal ``RT`` is 20 for both dataset families).
+    spatial_resolution:
+        Side length of a spatial grid cell in metres (the paper's optimal
+        ``RS`` is 1024 m for RWP and 17 km for VN).
+    """
+
+    temporal_resolution: int = 20
+    spatial_resolution: float = 1024.0
+
+    def __post_init__(self) -> None:
+        if self.temporal_resolution <= 0:
+            raise ConfigurationError("temporal_resolution must be positive")
+        if self.spatial_resolution <= 0:
+            raise ConfigurationError("spatial_resolution must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class ReachGraphConfig:
+    """ReachGraph construction parameters.
+
+    Attributes
+    ----------
+    resolutions:
+        Long-edge resolutions for the augmentation phase.  ``()`` builds a
+        single-resolution graph (DN1 only), which is what the B-BFS baseline
+        traverses.
+    partition_depth:
+        The disk-placement partition depth ``dp`` (paper optimum: 32).
+    """
+
+    resolutions: Tuple[int, ...] = DEFAULT_RESOLUTIONS
+    partition_depth: int = 32
+
+    def __post_init__(self) -> None:
+        if self.partition_depth <= 0:
+            raise ConfigurationError("partition_depth must be positive")
+        seen = set()
+        for resolution in self.resolutions:
+            if resolution <= 1:
+                raise ConfigurationError(
+                    f"long-edge resolution must exceed 1, got {resolution}"
+                )
+            if resolution in seen:
+                raise ConfigurationError(
+                    f"duplicate long-edge resolution: {resolution}"
+                )
+            seen.add(resolution)
+
+    @property
+    def sorted_resolutions(self) -> Tuple[int, ...]:
+        """Resolutions sorted ascending (DN2 before DN32)."""
+        return tuple(sorted(self.resolutions))
+
+    def with_resolutions(self, resolutions: Sequence[int]) -> "ReachGraphConfig":
+        """Copy of this config with a different resolution set."""
+        return ReachGraphConfig(
+            resolutions=tuple(resolutions), partition_depth=self.partition_depth
+        )
+
+    def with_partition_depth(self, depth: int) -> "ReachGraphConfig":
+        """Copy of this config with a different partition depth."""
+        return ReachGraphConfig(resolutions=self.resolutions, partition_depth=depth)
+
+
+@dataclass(frozen=True, slots=True)
+class GrailConfig:
+    """GRAIL baseline parameters.
+
+    ``num_labelings`` is the paper's ``d``, the number of randomized interval
+    labelings per vertex (GRAIL's default of 5 is used).
+    """
+
+    num_labelings: int = 5
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.num_labelings <= 0:
+            raise ConfigurationError("num_labelings must be positive")

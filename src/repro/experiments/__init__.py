@@ -1,0 +1,19 @@
+"""Experiment drivers that regenerate the paper's tables and figures."""
+
+from __future__ import annotations
+
+from .figures import EXPERIMENTS, clear_cache
+from .harness import ExperimentResult, WorkloadAggregate, aggregate_results, run_workload
+from .report import format_result, format_results, render_table
+
+__all__ = [
+    "EXPERIMENTS",
+    "clear_cache",
+    "ExperimentResult",
+    "WorkloadAggregate",
+    "aggregate_results",
+    "run_workload",
+    "format_result",
+    "format_results",
+    "render_table",
+]

@@ -1,0 +1,108 @@
+"""Shared plumbing for the experiment drivers.
+
+An *experiment* reproduces one table or figure of the paper's evaluation
+section: it builds the relevant index(es) on a (scaled-down) dataset, runs a
+query workload through them, and reports aggregate rows that have the same
+columns as the paper's plot axes.  The drivers live in
+:mod:`repro.experiments.figures`; this module holds the result containers and
+the aggregation helpers they share.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..core.types import QueryResult, ReachabilityQuery
+from ..workloads.queries import QueryWorkload
+
+__all__ = ["ExperimentResult", "WorkloadAggregate", "run_workload", "aggregate_results"]
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadAggregate:
+    """Aggregate statistics of evaluating one workload with one method."""
+
+    method: str
+    num_queries: int
+    mean_io: float
+    mean_random_ios: float
+    mean_cpu_seconds: float
+    mean_visited: float
+    reachable_fraction: float
+
+    def as_row(self) -> Dict[str, object]:
+        """Flatten into a plain dict (one table row)."""
+        return {
+            "method": self.method,
+            "queries": self.num_queries,
+            "mean_io": round(self.mean_io, 3),
+            "mean_random_ios": round(self.mean_random_ios, 3),
+            "mean_cpu_ms": round(self.mean_cpu_seconds * 1000.0, 3),
+            "mean_visited": round(self.mean_visited, 2),
+            "reachable_fraction": round(self.reachable_fraction, 3),
+        }
+
+
+@dataclass(slots=True)
+class ExperimentResult:
+    """The output of one experiment driver: named rows plus free-form notes."""
+
+    experiment: str
+    description: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **values: object) -> None:
+        """Append one row (keyword arguments become columns)."""
+        self.rows.append(dict(values))
+
+    def add_note(self, note: str) -> None:
+        """Append a free-form observation (shown below the table)."""
+        self.notes.append(note)
+
+    def column_names(self) -> List[str]:
+        """Union of the column names across rows, in first-seen order."""
+        names: List[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in names:
+                    names.append(key)
+        return names
+
+    def column(self, name: str) -> List[object]:
+        """The values of one column across all rows (missing cells skipped)."""
+        return [row[name] for row in self.rows if name in row]
+
+
+def aggregate_results(method: str, results: Sequence[QueryResult]) -> WorkloadAggregate:
+    """Aggregate per-query results into one row."""
+    if not results:
+        return WorkloadAggregate(method, 0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    return WorkloadAggregate(
+        method=method,
+        num_queries=len(results),
+        mean_io=statistics.fmean(result.io for result in results),
+        mean_random_ios=statistics.fmean(result.random_ios for result in results),
+        mean_cpu_seconds=statistics.fmean(result.cpu_seconds for result in results),
+        mean_visited=statistics.fmean(result.visited for result in results),
+        reachable_fraction=statistics.fmean(
+            1.0 if result.reachable else 0.0 for result in results
+        ),
+    )
+
+
+def run_workload(
+    evaluate: Callable[[ReachabilityQuery], QueryResult],
+    workload: QueryWorkload | Iterable[ReachabilityQuery],
+    method: str = "method",
+    limit: Optional[int] = None,
+) -> WorkloadAggregate:
+    """Evaluate every query of a workload and aggregate the results."""
+    results: List[QueryResult] = []
+    for position, query in enumerate(workload):
+        if limit is not None and position >= limit:
+            break
+        results.append(evaluate(query))
+    return aggregate_results(method, results)

@@ -1,0 +1,50 @@
+"""Plain-text rendering of experiment results.
+
+The paper presents its evaluation as figures and tables; the reproduction
+prints the same series as fixed-width text tables so they can be diffed,
+pasted into EXPERIMENTS.md, or eyeballed in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from .harness import ExperimentResult
+
+__all__ = ["format_result", "format_results", "render_table"]
+
+
+def render_table(column_names: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as a fixed-width text table with a header rule."""
+    materialized: List[List[str]] = [[str(value) for value in row] for row in rows]
+    headers = [str(name) for name in column_names]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for position, cell in enumerate(row):
+            widths[position] = max(widths[position], len(cell))
+
+    def format_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[position]) for position, cell in enumerate(cells))
+
+    lines = [format_row(headers), format_row(["-" * width for width in widths])]
+    lines.extend(format_row(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def format_result(result: ExperimentResult) -> str:
+    """Render one experiment result (title, table, notes)."""
+    lines = [f"== {result.experiment}: {result.description} =="]
+    columns = result.column_names()
+    if result.rows:
+        table_rows = [[row.get(column, "") for column in columns] for row in result.rows]
+        lines.append(render_table(columns, table_rows))
+    else:
+        lines.append("(no rows)")
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def format_results(results: Iterable[ExperimentResult]) -> str:
+    """Render several experiment results separated by blank lines."""
+    return "\n\n".join(format_result(result) for result in results)

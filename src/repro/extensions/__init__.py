@@ -1,0 +1,27 @@
+"""Extensions of Section 7: uncertain and non-immediate contact networks."""
+
+from __future__ import annotations
+
+from .nonimmediate import (
+    NonImmediateContact,
+    NonImmediateReachability,
+    build_non_immediate_contacts,
+)
+from .uncertain import (
+    ProbabilisticQueryResult,
+    UncertainContact,
+    UncertainContactNetwork,
+    UReachGraph,
+    assign_probabilities,
+)
+
+__all__ = [
+    "UncertainContact",
+    "UncertainContactNetwork",
+    "UReachGraph",
+    "ProbabilisticQueryResult",
+    "assign_probabilities",
+    "NonImmediateContact",
+    "NonImmediateReachability",
+    "build_non_immediate_contacts",
+]

@@ -1,0 +1,154 @@
+"""Non-immediate contacts (Section 7).
+
+A non-immediate contact from ``oi`` to ``oj`` occurs when ``oj`` visits, within
+the item lifetime ``T_t``, a location where ``oi`` had been earlier — the
+paper's example is a virus left behind in a bus.  Formally: the distance
+between ``oi``'s position at ``t`` and ``oj``'s position at ``t'`` is below
+``dT`` with ``t <= t' <= t + T_t``.  The contact is *directed* (the item flows
+from the earlier visitor to the later one) and its validity interval is
+``[t, t']``.
+
+Extraction follows the paper's recipe — join the *replicated* trajectories:
+each position of a potential carrier stays "active" for ``T_t`` ticks and is
+joined against the current positions of every other object.  Reachability over
+the resulting directed temporal contacts is evaluated with an
+earliest-arrival sweep analogous to the reference evaluator.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..core.errors import ContactNetworkError, QueryError
+from ..core.types import ObjectId, Point, QueryResult, ReachabilityQuery, TimeInstant, TimeInterval
+from ..contacts.join import pairs_within_distance
+from ..trajectory.model import TrajectoryDataset
+
+__all__ = [
+    "NonImmediateContact",
+    "build_non_immediate_contacts",
+    "NonImmediateReachability",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class NonImmediateContact:
+    """A directed non-immediate contact ``carrier --[t, t']--> receiver``."""
+
+    carrier: ObjectId
+    receiver: ObjectId
+    emit_time: TimeInstant
+    receive_time: TimeInstant
+
+    def __post_init__(self) -> None:
+        if self.carrier == self.receiver:
+            raise ContactNetworkError("a non-immediate contact needs two objects")
+        if self.receive_time < self.emit_time:
+            raise ContactNetworkError("receive_time cannot precede emit_time")
+
+    @property
+    def validity(self) -> TimeInterval:
+        """The validity interval ``[t, t']`` of the contact."""
+        return TimeInterval(self.emit_time, self.receive_time)
+
+
+def build_non_immediate_contacts(
+    dataset: TrajectoryDataset,
+    distance_threshold: float,
+    lifetime: int,
+    window: Optional[TimeInterval] = None,
+) -> List[NonImmediateContact]:
+    """Extract every non-immediate contact of a dataset.
+
+    For each receive tick ``t'`` the receiver positions are joined against the
+    replicated carrier positions of ticks ``t' - lifetime .. t'``.  The output
+    includes the immediate case ``t = t'`` (an item can also pass directly).
+    """
+    if distance_threshold <= 0:
+        raise ContactNetworkError("distance_threshold must be positive")
+    if lifetime < 0:
+        raise ContactNetworkError("item lifetime must be non-negative")
+    horizon = window.intersection(dataset.horizon) if window else dataset.horizon
+    if horizon is None:
+        raise ContactNetworkError("window does not overlap the dataset horizon")
+
+    contacts: List[NonImmediateContact] = []
+    seen: Set[Tuple[ObjectId, ObjectId, TimeInstant, TimeInstant]] = set()
+    for receive_time in horizon.instants():
+        receiver_positions = dataset.positions_at(receive_time)
+        emit_lo = max(horizon.start, receive_time - lifetime)
+        for emit_time in range(emit_lo, receive_time + 1):
+            carrier_positions = dataset.positions_at(emit_time)
+            # Join carrier positions at emit_time against receiver positions at
+            # receive_time.  Offsetting carrier ids keeps the two sides apart
+            # inside the shared grid-hash join.
+            offset = dataset.num_objects + 1
+            combined: Dict[ObjectId, Point] = dict(receiver_positions)
+            for object_id, position in carrier_positions.items():
+                combined[object_id + offset] = position
+            for a, b in pairs_within_distance(combined, distance_threshold):
+                carrier_raw, receiver_raw = (a, b) if a >= offset else (b, a)
+                if carrier_raw < offset or receiver_raw >= offset:
+                    continue  # same-side pair
+                carrier = carrier_raw - offset
+                receiver = receiver_raw
+                if carrier == receiver:
+                    continue
+                key = (carrier, receiver, emit_time, receive_time)
+                if key in seen:
+                    continue
+                seen.add(key)
+                contacts.append(
+                    NonImmediateContact(carrier, receiver, emit_time, receive_time)
+                )
+    contacts.sort(key=lambda c: (c.emit_time, c.receive_time, c.carrier, c.receiver))
+    return contacts
+
+
+class NonImmediateReachability:
+    """Earliest-arrival reachability over directed non-immediate contacts."""
+
+    def __init__(self, dataset: TrajectoryDataset, contacts: Iterable[NonImmediateContact]) -> None:
+        self.dataset = dataset
+        self.contacts = sorted(contacts, key=lambda c: c.receive_time)
+        self._by_carrier: Dict[ObjectId, List[NonImmediateContact]] = defaultdict(list)
+        for contact in self.contacts:
+            self._by_carrier[contact.carrier].append(contact)
+
+    def evaluate(self, query: ReachabilityQuery) -> QueryResult:
+        """Is the destination reachable through non-immediate contacts?"""
+        interval = query.interval.intersection(self.dataset.horizon)
+        if interval is None:
+            raise QueryError("query interval does not overlap the dataset horizon")
+        if query.source == query.destination:
+            return QueryResult(reachable=True, earliest_time=interval.start)
+
+        arrival: Dict[ObjectId, TimeInstant] = {query.source: interval.start}
+        # Process contacts ordered by receive time; an item emitted at
+        # ``emit_time`` requires the carrier to have been reached by then.
+        changed = True
+        while changed:
+            changed = False
+            for contact in self.contacts:
+                if contact.receive_time > interval.end:
+                    break
+                if contact.emit_time < interval.start:
+                    continue
+                carrier_arrival = arrival.get(contact.carrier)
+                if carrier_arrival is None or carrier_arrival > contact.emit_time:
+                    continue
+                current = arrival.get(contact.receiver)
+                if current is None or contact.receive_time < current:
+                    arrival[contact.receiver] = contact.receive_time
+                    changed = True
+                    if contact.receiver == query.destination:
+                        return QueryResult(
+                            reachable=True, earliest_time=contact.receive_time
+                        )
+        if query.destination in arrival:
+            return QueryResult(
+                reachable=True, earliest_time=arrival[query.destination]
+            )
+        return QueryResult(reachable=False)

@@ -1,0 +1,194 @@
+"""Uncertain contact networks and U-ReachGraph (Section 7).
+
+In an uncertain contact network every contact carries a transmission
+probability ``p`` (e.g. the probability that an infection actually passes when
+two individuals meet).  A contact path's probability is the product of its
+contacts' probabilities, and the *probabilistic reachability query* asks
+whether a contact path from the source to the destination with probability at
+least ``p_T`` exists within the query interval.
+
+Following the paper's sketch, query processing replaces graph traversal by a
+shortest-path computation: maximizing a product of probabilities is minimizing
+a sum of ``-log p`` weights, so a Dijkstra search over time-respecting states
+``(object, time)`` yields the best-path probability.  The state graph is the
+event-based equivalent of the probabilistic TEN — holding an item costs
+nothing (probability 1), crossing a contact multiplies by its probability —
+so the search never materializes the full ``|O| x |T|`` network.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.errors import ContactNetworkError, QueryError
+from ..core.types import ObjectId, ReachabilityQuery, TimeInstant, TimeInterval
+from ..contacts.network import Contact, ContactNetwork
+
+__all__ = [
+    "UncertainContact",
+    "UncertainContactNetwork",
+    "ProbabilisticQueryResult",
+    "UReachGraph",
+    "assign_probabilities",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class UncertainContact:
+    """A contact annotated with a transmission probability."""
+
+    contact: Contact
+    probability: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.probability <= 1.0:
+            raise ContactNetworkError(
+                f"contact probability must be in (0, 1], got {self.probability}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class ProbabilisticQueryResult:
+    """Outcome of a probabilistic reachability query."""
+
+    reachable: bool
+    best_probability: float
+    threshold: float
+    visited: int = 0
+
+    def __bool__(self) -> bool:
+        return self.reachable
+
+
+def assign_probabilities(
+    network: ContactNetwork,
+    base_probability: float = 0.8,
+    duration_bonus: float = 0.02,
+    seed: Optional[int] = None,
+) -> "UncertainContactNetwork":
+    """Annotate every contact of a network with a transmission probability.
+
+    The probability grows with the contact duration (longer exposure, higher
+    transmission chance) and is optionally jittered; this mirrors the paper's
+    example where the probability "depends on various factors such as the
+    distance between the individuals".
+    """
+    if not 0.0 < base_probability <= 1.0:
+        raise ContactNetworkError("base_probability must be in (0, 1]")
+    rng = random.Random(seed)
+    uncertain = []
+    for contact in network.contacts:
+        probability = min(
+            1.0, base_probability + duration_bonus * (contact.validity.length - 1)
+        )
+        if seed is not None:
+            probability = max(0.05, min(1.0, probability * rng.uniform(0.9, 1.0)))
+        uncertain.append(UncertainContact(contact, probability))
+    return UncertainContactNetwork(network, uncertain)
+
+
+class UncertainContactNetwork:
+    """A contact network whose contacts carry transmission probabilities."""
+
+    def __init__(
+        self, network: ContactNetwork, contacts: Iterable[UncertainContact]
+    ) -> None:
+        self.network = network
+        self.contacts: List[UncertainContact] = list(contacts)
+        known = {c.objects: c for c in network.contacts}
+        self._by_object: Dict[ObjectId, List[UncertainContact]] = {}
+        for uncertain in self.contacts:
+            if uncertain.contact.objects not in known:
+                raise ContactNetworkError(
+                    "uncertain contact does not exist in the base network"
+                )
+            for object_id in uncertain.contact.objects:
+                self._by_object.setdefault(object_id, []).append(uncertain)
+
+    @property
+    def horizon(self) -> TimeInterval:
+        """Time horizon of the underlying network."""
+        return self.network.horizon
+
+    def contacts_of(self, object_id: ObjectId) -> List[UncertainContact]:
+        """Uncertain contacts involving one object."""
+        return list(self._by_object.get(object_id, ()))
+
+
+class UReachGraph:
+    """Probabilistic reachability evaluation over an uncertain contact network.
+
+    :meth:`evaluate` computes the highest-probability time-respecting contact
+    path from the source (released at the query interval start) to the
+    destination, and compares it against the threshold ``p_T``.
+    """
+
+    def __init__(self, uncertain_network: UncertainContactNetwork) -> None:
+        self.uncertain_network = uncertain_network
+
+    # ------------------------------------------------------------------
+    # query processing
+    # ------------------------------------------------------------------
+    def best_path_probability(
+        self, source: ObjectId, destination: ObjectId, interval: TimeInterval
+    ) -> Tuple[float, int]:
+        """Highest contact-path probability from source to destination.
+
+        Returns ``(probability, states_visited)``; the probability is 0.0 when
+        no time-respecting path exists inside ``interval``.
+        """
+        if source == destination:
+            return 1.0, 0
+        clipped = interval.intersection(self.uncertain_network.horizon)
+        if clipped is None:
+            raise QueryError("query interval does not overlap the network horizon")
+
+        # Dijkstra over (object, earliest-arrival-time) states with cost
+        # -log(probability).  For a fixed object, a state that arrives earlier
+        # with at least the same probability dominates; we keep the best cost
+        # per (object, time) pair and the per-object Pareto check below.
+        start_state = (0.0, source, clipped.start)
+        heap: List[Tuple[float, ObjectId, TimeInstant]] = [start_state]
+        best: Dict[Tuple[ObjectId, TimeInstant], float] = {(source, clipped.start): 0.0}
+        visited = 0
+
+        while heap:
+            cost, object_id, arrival = heapq.heappop(heap)
+            if best.get((object_id, arrival), math.inf) < cost:
+                continue
+            visited += 1
+            if object_id == destination:
+                return math.exp(-cost), visited
+            for uncertain in self.uncertain_network.contacts_of(object_id):
+                contact = uncertain.contact
+                lo = max(contact.validity.start, arrival, clipped.start)
+                hi = min(contact.validity.end, clipped.end)
+                if lo > hi:
+                    continue
+                partner = contact.other(object_id)
+                next_cost = cost - math.log(uncertain.probability)
+                key = (partner, lo)
+                if next_cost < best.get(key, math.inf):
+                    best[key] = next_cost
+                    heapq.heappush(heap, (next_cost, partner, lo))
+        return 0.0, visited
+
+    def evaluate(
+        self, query: ReachabilityQuery, threshold: float
+    ) -> ProbabilisticQueryResult:
+        """Is the destination reachable with path probability >= ``threshold``?"""
+        if not 0.0 < threshold <= 1.0:
+            raise QueryError("probability threshold must be in (0, 1]")
+        probability, visited = self.best_path_probability(
+            query.source, query.destination, query.interval
+        )
+        return ProbabilisticQueryResult(
+            reachable=probability >= threshold,
+            best_probability=probability,
+            threshold=threshold,
+            visited=visited,
+        )

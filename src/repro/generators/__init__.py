@@ -1,0 +1,26 @@
+"""Synthetic trajectory generators.
+
+Three generators mirror the paper's three data sources:
+
+* :class:`RandomWaypointGenerator` — the GMSF random-waypoint individuals
+  (RWP datasets).
+* :class:`RoadNetworkGenerator` — Brinkhoff-style vehicles on a road network
+  (VN datasets).
+* :class:`SparseGpsTraceGenerator` — coarse GPS fixes re-interpolated to the
+  tick grid (substitute for the real Beijing dataset, ``VN_R``).
+"""
+
+from __future__ import annotations
+
+from .base import TrajectoryGenerator
+from .gps_traces import SparseGpsTraceGenerator
+from .random_waypoint import RandomWaypointGenerator
+from .road_network import RoadNetwork, RoadNetworkGenerator
+
+__all__ = [
+    "TrajectoryGenerator",
+    "RandomWaypointGenerator",
+    "RoadNetworkGenerator",
+    "RoadNetwork",
+    "SparseGpsTraceGenerator",
+]

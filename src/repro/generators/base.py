@@ -1,0 +1,66 @@
+"""Common interface for trajectory generators.
+
+Every generator produces a :class:`~repro.trajectory.model.TrajectoryDataset`
+with one densely sampled trajectory per object over a rectangular environment.
+Generators are deterministic given their seed so that tests and benchmarks are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Tuple
+
+from ..core.errors import DatasetError
+from ..trajectory.model import TrajectoryDataset
+
+__all__ = ["TrajectoryGenerator"]
+
+
+class TrajectoryGenerator(abc.ABC):
+    """Base class for synthetic movement generators.
+
+    Parameters
+    ----------
+    num_objects:
+        How many moving objects to simulate.
+    horizon:
+        Number of time instances to generate (``|T|``).
+    environment_size:
+        Width and height of the rectangular environment ``E`` in metres.
+    seed:
+        Seed of the generator's private random stream.
+    """
+
+    def __init__(
+        self,
+        num_objects: int,
+        horizon: int,
+        environment_size: Tuple[float, float],
+        seed: int = 0,
+    ) -> None:
+        if num_objects <= 0:
+            raise DatasetError("num_objects must be positive")
+        if horizon <= 0:
+            raise DatasetError("horizon must be positive")
+        if environment_size[0] <= 0 or environment_size[1] <= 0:
+            raise DatasetError("environment dimensions must be positive")
+        self.num_objects = num_objects
+        self.horizon = horizon
+        self.environment_size = (float(environment_size[0]), float(environment_size[1]))
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    @abc.abstractmethod
+    def generate(self) -> TrajectoryDataset:
+        """Produce the trajectory dataset."""
+
+    @property
+    def rng(self) -> random.Random:
+        """The generator's private random stream."""
+        return self._rng
+
+    def _dataset_name(self) -> str:
+        """Default dataset name: class name + object count + horizon."""
+        return f"{type(self).__name__}-{self.num_objects}x{self.horizon}"

@@ -1,0 +1,81 @@
+"""Sparse GPS trace generator (substitute for the Beijing vehicle dataset).
+
+The paper's only real dataset is a set of Beijing taxi GPS tracks sampled once
+per minute and interpolated to a 5-second grid; it is used for the ``VN_R``
+column of Table 4.  We cannot ship that proprietary dataset, so this module
+produces the closest synthetic equivalent that exercises the same code path:
+
+1. drive vehicles on a road network (the movement model of urban taxis),
+2. *downsample* the trajectories to a coarse recording rate (1 sample per
+   ``recording_interval`` ticks, mirroring the 1-minute GPS logger), and
+3. *interpolate* the sparse samples back onto the dense tick grid.
+
+The resulting dataset is sparser in contacts than the fully synthetic VN data
+(piecewise-linear interpolated tracks cut corners and vehicles are fewer),
+which is exactly the qualitative property the paper reports for ``VN_R``
+(much smaller average long-edge degree in Table 4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..core.errors import DatasetError
+from ..trajectory.interpolation import densify_sparse_samples, downsample
+from ..trajectory.model import Trajectory, TrajectoryDataset
+from .base import TrajectoryGenerator
+from .road_network import RoadNetwork, RoadNetworkGenerator
+
+__all__ = ["SparseGpsTraceGenerator"]
+
+
+class SparseGpsTraceGenerator(TrajectoryGenerator):
+    """Vehicles recorded at a coarse GPS rate, then re-interpolated.
+
+    Parameters
+    ----------
+    recording_interval:
+        Number of ticks between recorded GPS fixes (the paper's 1-minute rate
+        at a 5-second tick corresponds to 12).
+    """
+
+    def __init__(
+        self,
+        num_objects: int,
+        horizon: int,
+        environment_size: Tuple[float, float] = (24_000.0, 24_000.0),
+        recording_interval: int = 12,
+        network: Optional[RoadNetwork] = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(num_objects, horizon, environment_size, seed)
+        if recording_interval <= 0:
+            raise DatasetError("recording_interval must be positive")
+        self.recording_interval = recording_interval
+        self._mover = RoadNetworkGenerator(
+            num_objects=num_objects,
+            horizon=horizon,
+            environment_size=environment_size,
+            network=network,
+            seed=seed,
+        )
+
+    def generate(self) -> TrajectoryDataset:
+        """Generate the sparse-GPS dataset (drive, downsample, interpolate)."""
+        dense = self._mover.generate()
+        trajectories = []
+        for trajectory in dense:
+            sparse = downsample(trajectory, self.recording_interval)
+            trajectories.append(
+                densify_sparse_samples(
+                    trajectory.object_id,
+                    sparse,
+                    horizon_length=self.horizon,
+                    start_time=trajectory.start_time,
+                )
+            )
+        return TrajectoryDataset(
+            trajectories,
+            environment_size=self.environment_size,
+            name=self._dataset_name(),
+        )

@@ -1,0 +1,29 @@
+"""ReachGraph: the precomputed multi-resolution reachability index of Section 5."""
+
+from __future__ import annotations
+
+from .augmentation import AugmentationReport, augment_dag, build_layer
+from .dag import ComponentNode, ContactDag, HyperGraph, LongEdgeLayer
+from .index import ReachGraphBuildReport, ReachGraphIndex, VertexRecord
+from .partition import Partitioning, partition_hypergraph
+from .query import STRATEGIES, ReachGraphQueryProcessor
+from .reduction import ReductionReport, reduce_contact_network
+
+__all__ = [
+    "ComponentNode",
+    "ContactDag",
+    "HyperGraph",
+    "LongEdgeLayer",
+    "reduce_contact_network",
+    "ReductionReport",
+    "augment_dag",
+    "build_layer",
+    "AugmentationReport",
+    "partition_hypergraph",
+    "Partitioning",
+    "ReachGraphIndex",
+    "ReachGraphBuildReport",
+    "VertexRecord",
+    "ReachGraphQueryProcessor",
+    "STRATEGIES",
+]

@@ -1,0 +1,232 @@
+"""The reduced contact-network DAG (``DN``) and the ReachGraph hyper graph (``HN``).
+
+After the reduction phase (Section 5.1.2.1) the contact network is a DAG whose
+vertices are connected components of TEN snapshots.  Two consecutive identical
+components are merged into one vertex that *persists* over a time interval
+(the paper's second reduction step); the edge that skips the merged copies is
+the aggregated edge and its weight is the length of the persisted interval.
+
+After the augmentation phase (Section 5.1.2.2) the DAG additionally carries
+*long edges* at a set of resolutions; the union of the base DAG (``DN_1``) and
+the long-edge layers is the ReachGraph hyper graph ``HN``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..core.errors import IndexConstructionError
+from ..core.types import ObjectId, TimeInstant, TimeInterval
+
+__all__ = ["ComponentNode", "ContactDag", "LongEdgeLayer", "HyperGraph"]
+
+
+@dataclass(slots=True)
+class ComponentNode:
+    """A DN vertex: a connected component persisting over a time interval.
+
+    Every object in ``members`` is reachable from every other member at each
+    instant of ``interval`` (snapshot symmetry + the component persisting
+    unchanged).
+    """
+
+    node_id: int
+    interval: TimeInterval
+    members: FrozenSet[ObjectId]
+
+    def active_at(self, t: TimeInstant) -> bool:
+        """True when the component exists at time instance ``t``."""
+        return self.interval.contains(t)
+
+    def __hash__(self) -> int:
+        return self.node_id
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        members = ",".join(f"o{m}" for m in sorted(self.members))
+        return f"c{self.node_id}({{{members}}}, {self.interval})"
+
+
+class ContactDag:
+    """``DN_1``: component vertices plus the first-resolution edges.
+
+    Vertices are stored in creation order, which is a topological order (an
+    edge always points from a vertex that ends at ``t - 1`` to a vertex that
+    starts at ``t``).
+    """
+
+    def __init__(self, horizon: TimeInterval, num_objects: int) -> None:
+        self.horizon = horizon
+        self.num_objects = num_objects
+        self.nodes: List[ComponentNode] = []
+        self.forward: Dict[int, List[int]] = {}
+        self.backward: Dict[int, List[int]] = {}
+        # (object, start_time) -> node_id assignment segments, per object.
+        self._assignments: Dict[ObjectId, List[Tuple[TimeInstant, int]]] = {}
+
+    # ------------------------------------------------------------------
+    # construction helpers (used by the reduction phase)
+    # ------------------------------------------------------------------
+    def add_node(self, interval: TimeInterval, members: FrozenSet[ObjectId]) -> ComponentNode:
+        """Append a new component vertex (keeps topological creation order)."""
+        node = ComponentNode(len(self.nodes), interval, members)
+        self.nodes.append(node)
+        self.forward[node.node_id] = []
+        self.backward[node.node_id] = []
+        for member in members:
+            self._assignments.setdefault(member, []).append(
+                (interval.start, node.node_id)
+            )
+        return node
+
+    def extend_node(self, node_id: int, new_end: TimeInstant) -> None:
+        """Extend the persistence interval of a vertex (temporal merge step)."""
+        node = self.nodes[node_id]
+        if new_end < node.interval.end:
+            raise IndexConstructionError("cannot shrink a component interval")
+        node.interval = TimeInterval(node.interval.start, new_end)
+
+    def add_edge(self, source_id: int, target_id: int) -> None:
+        """Add a DN_1 edge (deduplicated)."""
+        if target_id not in self.forward[source_id]:
+            self.forward[source_id].append(target_id)
+            self.backward[target_id].append(source_id)
+
+    # ------------------------------------------------------------------
+    # queries over the structure
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of component vertices."""
+        return len(self.nodes)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of DN_1 edges (aggregated edges count once)."""
+        return sum(len(targets) for targets in self.forward.values())
+
+    def node(self, node_id: int) -> ComponentNode:
+        """The vertex with identifier ``node_id``."""
+        return self.nodes[node_id]
+
+    def successors(self, node_id: int) -> List[int]:
+        """DN_1 successors of a vertex."""
+        return self.forward[node_id]
+
+    def predecessors(self, node_id: int) -> List[int]:
+        """DN_1 predecessors of a vertex."""
+        return self.backward[node_id]
+
+    def node_of(self, object_id: ObjectId, t: TimeInstant) -> int:
+        """Identifier of the component containing ``object_id`` at time ``t``.
+
+        This is an in-memory lookup used during construction and by the
+        memory-resident baselines; disk-resident query processing goes through
+        the external hash tables instead.
+        """
+        segments = self._assignments.get(object_id)
+        if not segments:
+            raise IndexConstructionError(f"object {object_id} has no assignments")
+        # Binary search over the per-object (start_time, node) segments.
+        lo, hi = 0, len(segments) - 1
+        answer: Optional[int] = None
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            if segments[mid][0] <= t:
+                answer = segments[mid][1]
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        if answer is None or not self.nodes[answer].active_at(t):
+            raise IndexConstructionError(
+                f"object {object_id} has no component at time {t}"
+            )
+        return answer
+
+    def assignment_segments(self, object_id: ObjectId) -> List[Tuple[TimeInstant, int]]:
+        """The (start_time, node_id) assignment history of an object."""
+        return list(self._assignments.get(object_id, ()))
+
+    def nodes_active_at(self, t: TimeInstant) -> List[ComponentNode]:
+        """All vertices whose persistence interval contains ``t``."""
+        return [node for node in self.nodes if node.active_at(t)]
+
+    def topological_order(self) -> List[int]:
+        """Vertex ids in topological order (creation order by construction)."""
+        return list(range(len(self.nodes)))
+
+    def __iter__(self) -> Iterator[ComponentNode]:
+        return iter(self.nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ContactDag(nodes={self.num_nodes}, edges={self.num_edges})"
+
+
+@dataclass(slots=True)
+class LongEdgeLayer:
+    """All long edges of one resolution ``L`` (the graph ``DN_L``)."""
+
+    resolution: int
+    forward: Dict[int, List[int]] = field(default_factory=dict)
+
+    def add_edge(self, source_id: int, target_id: int) -> None:
+        """Add a long edge (deduplicated)."""
+        targets = self.forward.setdefault(source_id, [])
+        if target_id not in targets:
+            targets.append(target_id)
+
+    def successors(self, node_id: int) -> List[int]:
+        """Long-edge successors of ``node_id`` at this resolution."""
+        return self.forward.get(node_id, [])
+
+    @property
+    def num_edges(self) -> int:
+        """Number of long edges in the layer."""
+        return sum(len(targets) for targets in self.forward.values())
+
+    def average_degree(self) -> float:
+        """Average out-degree over vertices that have at least one long edge.
+
+        This is the quantity reported in Table 4 of the paper.
+        """
+        if not self.forward:
+            return 0.0
+        return self.num_edges / len(self.forward)
+
+
+class HyperGraph:
+    """``HN``: the base DAG plus long-edge layers at several resolutions."""
+
+    def __init__(self, dag: ContactDag, layers: Iterable[LongEdgeLayer] = ()) -> None:
+        self.dag = dag
+        self.layers: Dict[int, LongEdgeLayer] = {}
+        for layer in layers:
+            self.add_layer(layer)
+
+    def add_layer(self, layer: LongEdgeLayer) -> None:
+        """Register a long-edge layer (one per resolution)."""
+        if layer.resolution in self.layers:
+            raise IndexConstructionError(
+                f"duplicate long-edge layer for resolution {layer.resolution}"
+            )
+        self.layers[layer.resolution] = layer
+
+    @property
+    def resolutions(self) -> List[int]:
+        """Available long-edge resolutions, ascending."""
+        return sorted(self.layers)
+
+    def layer(self, resolution: int) -> LongEdgeLayer:
+        """The long-edge layer for ``resolution``."""
+        return self.layers[resolution]
+
+    @property
+    def num_long_edges(self) -> int:
+        """Total number of long edges across every layer."""
+        return sum(layer.num_edges for layer in self.layers.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"HyperGraph(nodes={self.dag.num_nodes}, base_edges={self.dag.num_edges}, "
+            f"long_edges={self.num_long_edges}, resolutions={self.resolutions})"
+        )

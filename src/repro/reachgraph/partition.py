@@ -1,0 +1,101 @@
+"""Disk placement of the ReachGraph hyper graph.
+
+Section 5.1.3 partitions ``HN`` for disk placement: vertices are visited in
+topological order (which is creation order here); each unassigned vertex
+roots a new partition containing every unassigned vertex within DN_1 distance
+``dp`` of it.  Long edges are ignored while partitioning so that each
+partition preserves temporal locality.  Partitions are written to disk in the
+order they are generated, each as one contiguous extent.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .dag import ContactDag, HyperGraph
+
+__all__ = ["Partitioning", "partition_hypergraph"]
+
+
+@dataclass(frozen=True, slots=True)
+class Partitioning:
+    """The result of partitioning: per-vertex partition ids and member lists.
+
+    Attributes
+    ----------
+    partition_of:
+        ``partition_of[node_id]`` is the partition holding that vertex.
+    members:
+        ``members[p]`` lists the vertex ids of partition ``p`` in the order
+        they should be written inside the extent.
+    depth:
+        The partition depth ``dp`` used.
+    """
+
+    partition_of: Dict[int, int]
+    members: List[List[int]]
+    depth: int
+
+    @property
+    def num_partitions(self) -> int:
+        """Number of partitions generated."""
+        return len(self.members)
+
+    def partition_sizes(self) -> List[int]:
+        """Vertex count of every partition."""
+        return [len(member_list) for member_list in self.members]
+
+    def average_partition_size(self) -> float:
+        """Mean number of vertices per partition."""
+        if not self.members:
+            return 0.0
+        return sum(self.partition_sizes()) / len(self.members)
+
+
+def partition_hypergraph(graph: HyperGraph, depth: int) -> Partitioning:
+    """Partition the hyper graph with the paper's depth-``dp`` scheme."""
+    dag = graph.dag
+    partition_of: Dict[int, int] = {}
+    members: List[List[int]] = []
+
+    for root_id in dag.topological_order():
+        if root_id in partition_of:
+            continue
+        partition_id = len(members)
+        collected = _collect_unassigned_within_depth(dag, root_id, depth, partition_of)
+        for node_id in collected:
+            partition_of[node_id] = partition_id
+        members.append(collected)
+
+    return Partitioning(partition_of=partition_of, members=members, depth=depth)
+
+
+def _collect_unassigned_within_depth(
+    dag: ContactDag,
+    root_id: int,
+    depth: int,
+    partition_of: Dict[int, int],
+) -> List[int]:
+    """Unassigned vertices within DN_1 distance ``depth`` of ``root_id``.
+
+    The root itself is always included.  Already-assigned vertices are passed
+    through (they do not join the partition) but do not block deeper
+    unassigned vertices, mirroring the paper's "create a partition rooted at u
+    if u is not already assigned" iteration.
+    """
+    collected: List[int] = []
+    seen = {root_id}
+    queue = deque([(root_id, 0)])
+    while queue:
+        node_id, distance = queue.popleft()
+        if node_id not in partition_of:
+            collected.append(node_id)
+        if distance >= depth:
+            continue
+        for successor_id in dag.successors(node_id):
+            if successor_id not in seen:
+                seen.add(successor_id)
+                queue.append((successor_id, distance + 1))
+    return collected

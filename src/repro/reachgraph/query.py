@@ -1,0 +1,285 @@
+"""ReachGraph query processing: BM-BFS, B-BFS, and E-DFS (Section 5.2).
+
+Three traversal strategies over the same disk-resident hyper graph:
+
+* **BM-BFS** (the paper's contribution, Algorithm 2) — bidirectional
+  multi-resolution BFS.  A forward BFS from the source's component at ``t1``
+  explores the first half of the query interval while a backward BFS (over the
+  reverse DN_1 edges) from the destination's component at ``t2`` explores the
+  second half; the traversal terminates as soon as an object appears on both
+  sides.  The forward traversal takes the highest-resolution long edges that
+  fit before the interval midpoint, which lets it cover the half-interval in
+  far fewer vertex visits.
+* **B-BFS** — the same bidirectional traversal restricted to DN_1 edges.
+* **E-DFS** — the naive baseline: an external DFS from the source component
+  looking for the destination component, without inspecting component members
+  and without bidirectional search.
+
+Every strategy reads vertices through the partition extents written by
+:class:`~repro.reachgraph.index.ReachGraphIndex`; a retrieved partition is
+kept in a per-query cache (the buffer pool underneath also keeps its blocks),
+so vertices of the same partition cost no further IO.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..core.errors import QueryError, UnknownObjectError
+from ..core.types import ObjectId, QueryResult, ReachabilityQuery, TimeInstant, TimeInterval
+from .index import ReachGraphIndex, VertexRecord
+
+__all__ = ["ReachGraphQueryProcessor", "STRATEGIES"]
+
+#: The traversal strategies understood by :meth:`ReachGraphQueryProcessor.evaluate`.
+STRATEGIES = ("bm-bfs", "b-bfs", "e-dfs", "e-bfs")
+
+
+class _VertexCache:
+    """Per-query cache of vertex records, filled one partition at a time."""
+
+    def __init__(self, index: ReachGraphIndex) -> None:
+        self._index = index
+        self._records: Dict[int, VertexRecord] = {}
+        self.partitions_read = 0
+
+    def get(self, node_id: int) -> VertexRecord:
+        record = self._records.get(node_id)
+        if record is not None:
+            return record
+        partition_id = self._index.partition_of(node_id)
+        for loaded in self._index.read_partition(partition_id):
+            self._records[loaded.node_id] = loaded
+        self.partitions_read += 1
+        return self._records[node_id]
+
+
+class ReachGraphQueryProcessor:
+    """Evaluates reachability queries against a built :class:`ReachGraphIndex`."""
+
+    def __init__(self, index: ReachGraphIndex) -> None:
+        if not index.is_built:
+            raise QueryError("ReachGraph index must be built before querying")
+        self.index = index
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, query: ReachabilityQuery, strategy: str = "bm-bfs"
+    ) -> QueryResult:
+        """Evaluate one reachability query with the chosen traversal strategy."""
+        if strategy not in STRATEGIES:
+            raise QueryError(
+                f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+            )
+        dataset = self.index.dataset
+        if query.source not in dataset:
+            raise UnknownObjectError(query.source)
+        if query.destination not in dataset:
+            raise UnknownObjectError(query.destination)
+        interval = query.interval.intersection(dataset.horizon)
+        if interval is None:
+            raise QueryError(
+                f"query interval {query.interval} does not overlap the horizon "
+                f"{dataset.horizon}"
+            )
+
+        storage = self.index.storage
+        storage.reset_for_query()
+        io_before = storage.snapshot()
+        cpu_started = time.process_time()
+        cache = _VertexCache(self.index)
+
+        if query.source == query.destination:
+            reachable, visited = True, 0
+        elif strategy in ("bm-bfs", "b-bfs"):
+            reachable, visited = self._bidirectional_bfs(
+                query, interval, cache, use_long_edges=(strategy == "bm-bfs")
+            )
+        elif strategy == "e-bfs":
+            reachable, visited = self._external_search(
+                query, interval, cache, depth_first=False
+            )
+        else:  # e-dfs
+            reachable, visited = self._external_search(
+                query, interval, cache, depth_first=True
+            )
+
+        delta = storage.charge_since(io_before)
+        return QueryResult(
+            reachable=reachable,
+            earliest_time=None,
+            io=delta.normalized(storage.config.sequential_cost),
+            random_ios=delta.random_reads,
+            sequential_ios=delta.sequential_reads,
+            cpu_seconds=time.process_time() - cpu_started,
+            visited=visited,
+        )
+
+    # ------------------------------------------------------------------
+    # BM-BFS / B-BFS (Algorithm 2)
+    # ------------------------------------------------------------------
+    def _bidirectional_bfs(
+        self,
+        query: ReachabilityQuery,
+        interval: TimeInterval,
+        cache: _VertexCache,
+        use_long_edges: bool,
+    ) -> Tuple[bool, int]:
+        t1, t2 = interval.start, interval.end
+        mid = interval.midpoint
+        v1 = self.index.find_vertex_id(query.source, t1)
+        v2 = self.index.find_vertex_id(query.destination, t2)
+
+        record1 = cache.get(v1)
+        record2 = cache.get(v2)
+        objects_forward: Set[ObjectId] = set(record1.members)
+        objects_backward: Set[ObjectId] = set(record2.members)
+        visited = 2
+        if objects_forward & objects_backward:
+            return True, visited
+
+        queue_forward: deque[int] = deque([v1])
+        queue_backward: deque[int] = deque([v2])
+        seen_forward: Set[int] = {v1}
+        seen_backward: Set[int] = {v2}
+
+        while queue_forward or queue_backward:
+            if queue_forward:
+                found, visited = self._process_forward(
+                    queue_forward,
+                    seen_forward,
+                    objects_forward,
+                    objects_backward,
+                    cache,
+                    mid,
+                    use_long_edges,
+                    visited,
+                )
+                if found:
+                    return True, visited
+            if queue_backward:
+                found, visited = self._process_backward(
+                    queue_backward,
+                    seen_backward,
+                    objects_backward,
+                    objects_forward,
+                    cache,
+                    mid,
+                    t2,
+                    visited,
+                )
+                if found:
+                    return True, visited
+        return False, visited
+
+    def _process_forward(
+        self,
+        queue: deque,
+        seen: Set[int],
+        own_objects: Set[ObjectId],
+        other_objects: Set[ObjectId],
+        cache: _VertexCache,
+        mid: TimeInstant,
+        use_long_edges: bool,
+        visited: int,
+    ) -> Tuple[bool, int]:
+        node_id = queue.popleft()
+        record = cache.get(node_id)
+        visited += 1
+        own_objects.update(record.members)
+        if other_objects.intersection(record.members):
+            return True, visited
+
+        children: List[int] = []
+        if use_long_edges:
+            # Highest-resolution long edges whose window fits before the
+            # interval midpoint are taken first; they let the traversal leap
+            # over long stretches of the first half-interval.
+            for resolution in sorted(self.index.config.sorted_resolutions, reverse=True):
+                if record.start + resolution > mid:
+                    continue
+                for target_id in record.long_successors_at(resolution):
+                    children.append(target_id)
+                if children:
+                    break
+        for target_id in record.successors:
+            children.append(target_id)
+
+        for target_id in children:
+            if target_id in seen:
+                continue
+            target = cache.get(target_id)
+            if target.start > mid:
+                continue
+            seen.add(target_id)
+            queue.append(target_id)
+        return False, visited
+
+    def _process_backward(
+        self,
+        queue: deque,
+        seen: Set[int],
+        own_objects: Set[ObjectId],
+        other_objects: Set[ObjectId],
+        cache: _VertexCache,
+        mid: TimeInstant,
+        t2: TimeInstant,
+        visited: int,
+    ) -> Tuple[bool, int]:
+        node_id = queue.popleft()
+        record = cache.get(node_id)
+        visited += 1
+        own_objects.update(record.members)
+        if other_objects.intersection(record.members):
+            return True, visited
+
+        for source_id in record.predecessors:
+            if source_id in seen:
+                continue
+            source = cache.get(source_id)
+            # The backward traversal covers components that can still pass the
+            # item onwards during the second half of the query interval.
+            if source.end < mid or source.start > t2:
+                continue
+            seen.add(source_id)
+            queue.append(source_id)
+        return False, visited
+
+    # ------------------------------------------------------------------
+    # E-DFS / E-BFS baselines
+    # ------------------------------------------------------------------
+    def _external_search(
+        self,
+        query: ReachabilityQuery,
+        interval: TimeInterval,
+        cache: _VertexCache,
+        depth_first: bool,
+    ) -> Tuple[bool, int]:
+        t1, t2 = interval.start, interval.end
+        v1 = self.index.find_vertex_id(query.source, t1)
+        v2 = self.index.find_vertex_id(query.destination, t2)
+        if v1 == v2:
+            return True, 1
+
+        frontier: deque[int] = deque([v1])
+        seen: Set[int] = {v1}
+        visited = 0
+        while frontier:
+            node_id = frontier.pop() if depth_first else frontier.popleft()
+            record = cache.get(node_id)
+            visited += 1
+            if node_id == v2:
+                return True, visited
+            for target_id in record.successors:
+                if target_id in seen:
+                    continue
+                target = cache.get(target_id)
+                if target.start > t2:
+                    continue
+                seen.add(target_id)
+                frontier.append(target_id)
+        return False, visited

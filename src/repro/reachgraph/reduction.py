@@ -1,0 +1,191 @@
+"""The reduction phase: contact network (TEN) → reduced DAG ``DN``.
+
+Section 5.1.2.1 performs two lossless reduction steps:
+
+1. **Snapshot reduction** — within every snapshot ``G_t``, all vertices of a
+   connected component are collapsed to a single hyper vertex (every member is
+   reachable from every other member at ``t``, Properties 5.1/5.2).  An edge
+   joins a component of ``G_t`` to a component of ``G_{t+1}`` when the TEN has
+   at least one edge between their members — i.e. exactly when the two
+   components share an object (TEN cross-snapshot edges are the per-object
+   holding edges).
+2. **Temporal merge** — consecutive snapshots of an *identical* component are
+   merged into one vertex that persists over an interval; the edge that enters
+   the persisted vertex is the aggregated edge and its weight is the interval
+   length.
+
+Both steps are folded into a single forward pass over the snapshots: a
+component that is exactly equal to a currently-open vertex extends it,
+anything else closes/creates vertices and adds the connecting edges.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..core.types import ObjectId, TimeInterval
+from ..contacts.network import ContactNetwork
+from ..contacts.ten import TimeExpandedNetwork
+from .dag import ContactDag
+
+__all__ = ["ReductionReport", "reduce_contact_network"]
+
+
+@dataclass(frozen=True, slots=True)
+class ReductionReport:
+    """Size statistics of the reduction (Section 6.2.1.1 reports these)."""
+
+    ten_vertices: int
+    ten_edges: int
+    dag_vertices: int
+    dag_edges: int
+    build_seconds: float
+
+    @property
+    def vertex_reduction(self) -> float:
+        """Fraction of TEN vertices removed by the reduction."""
+        if self.ten_vertices == 0:
+            return 0.0
+        return 1.0 - self.dag_vertices / self.ten_vertices
+
+    @property
+    def edge_reduction(self) -> float:
+        """Fraction of TEN edges removed by the reduction."""
+        if self.ten_edges == 0:
+            return 0.0
+        return 1.0 - self.dag_edges / self.ten_edges
+
+
+def reduce_contact_network(
+    network: ContactNetwork,
+    window: Optional[TimeInterval] = None,
+) -> Tuple[ContactDag, ReductionReport]:
+    """Build the reduced DAG ``DN`` of a contact network.
+
+    Parameters
+    ----------
+    network:
+        The contact network to reduce.
+    window:
+        Restrict the reduction to a sub-interval of the horizon (used by the
+        Figure 10/11 experiments that grow ``|T|``); defaults to the full
+        horizon.
+
+    Returns
+    -------
+    (dag, report):
+        The reduced DAG and the size statistics comparing it against the TEN
+        representation of the same window.
+    """
+    started = time.perf_counter()
+    ten = TimeExpandedNetwork(network)
+    horizon = window.intersection(network.horizon) if window else network.horizon
+    if horizon is None:
+        raise ValueError("reduction window does not overlap the network horizon")
+
+    dag = ContactDag(horizon, network.dataset.num_objects)
+
+    # For each object, the id of the vertex it belonged to at the previous
+    # tick; used both for the temporal merge test and for edge creation.
+    previous_assignment: Dict[ObjectId, int] = {}
+
+    for t in horizon.instants():
+        components = _snapshot_components(network, t)
+        current_assignment: Dict[ObjectId, int] = {}
+        for members in components:
+            node_id = _match_open_vertex(dag, previous_assignment, members, t)
+            if node_id is not None:
+                # The same component persisted from t-1: extend its interval.
+                dag.extend_node(node_id, t)
+            else:
+                node = dag.add_node(TimeInterval(t, t), members)
+                node_id = node.node_id
+                # Edges from the previous vertices of every member (the TEN
+                # holding edges collapse to component-to-component edges).
+                sources: Set[int] = set()
+                for member in members:
+                    prev = previous_assignment.get(member)
+                    if prev is not None and prev != node_id:
+                        sources.add(prev)
+                for source in sources:
+                    dag.add_edge(source, node_id)
+            for member in members:
+                current_assignment[member] = node_id
+        previous_assignment = current_assignment
+
+    ten_vertices = network.dataset.num_objects * horizon.length
+    ten_edges = network.dataset.num_objects * (horizon.length - 1) + sum(
+        1
+        for contact in network.contacts
+        for _ in range(
+            max(
+                0,
+                min(contact.validity.end, horizon.end)
+                - max(contact.validity.start, horizon.start)
+                + 1,
+            )
+        )
+        if contact.validity.overlaps(horizon)
+    )
+    report = ReductionReport(
+        ten_vertices=ten_vertices,
+        ten_edges=ten_edges,
+        dag_vertices=dag.num_nodes,
+        dag_edges=dag.num_edges,
+        build_seconds=time.perf_counter() - started,
+    )
+    return dag, report
+
+
+# ----------------------------------------------------------------------
+# internals
+# ----------------------------------------------------------------------
+def _snapshot_components(network: ContactNetwork, t: int) -> List[FrozenSet[ObjectId]]:
+    """Connected components of snapshot ``G_t`` (singletons included)."""
+    adjacency = network.snapshot_adjacency(t)
+    components: List[FrozenSet[ObjectId]] = []
+    seen: Set[ObjectId] = set()
+    for object_id in network.object_ids:
+        if object_id in seen:
+            continue
+        if object_id not in adjacency:
+            seen.add(object_id)
+            components.append(frozenset((object_id,)))
+            continue
+        members: Set[ObjectId] = {object_id}
+        frontier = [object_id]
+        seen.add(object_id)
+        while frontier:
+            current = frontier.pop()
+            for neighbour in adjacency.get(current, ()):
+                if neighbour not in members:
+                    members.add(neighbour)
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        components.append(frozenset(members))
+    return components
+
+
+def _match_open_vertex(
+    dag: ContactDag,
+    previous_assignment: Dict[ObjectId, int],
+    members: FrozenSet[ObjectId],
+    t: int,
+) -> Optional[int]:
+    """Return the id of an open vertex identical to ``members`` at ``t-1``.
+
+    A vertex can be extended only when *all* its members were assigned to it
+    at the previous tick, it has exactly the same member set, and it is still
+    open (its interval ends at ``t-1``).
+    """
+    candidate = previous_assignment.get(next(iter(members)))
+    if candidate is None:
+        return None
+    node = dag.node(candidate)
+    if node.members != members:
+        return None
+    if node.interval.end != t - 1:
+        return None
+    return candidate

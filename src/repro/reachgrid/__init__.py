@@ -1,0 +1,15 @@
+"""ReachGrid: the spatiotemporal grid index of Section 4."""
+
+from __future__ import annotations
+
+from .cells import CellKey, GridGeometry
+from .index import ReachGridBuildReport, ReachGridIndex
+from .query import ReachGridQueryProcessor
+
+__all__ = [
+    "CellKey",
+    "GridGeometry",
+    "ReachGridIndex",
+    "ReachGridBuildReport",
+    "ReachGridQueryProcessor",
+]

@@ -1,0 +1,148 @@
+"""Spatiotemporal grid geometry for ReachGrid.
+
+ReachGrid imposes two grids on the contact dataset (Section 4.1): a temporal
+grid that partitions the horizon ``T`` into intervals of ``RT`` time instances
+each, and a spatial grid of square cells of side ``RS`` that partitions the
+environment within each temporal interval.  This module holds the pure
+geometry: mapping times to temporal intervals, positions to spatial cells, and
+rectangles to the set of cells they intersect.  No IO happens here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from ..core.config import ReachGridConfig
+from ..core.errors import ConfigurationError
+from ..core.types import Point, TimeInstant, TimeInterval
+from ..trajectory.mbr import MBR
+
+__all__ = ["CellKey", "GridGeometry"]
+
+#: A grid cell is identified by (temporal interval index, column, row).
+CellKey = Tuple[int, int, int]
+
+
+@dataclass(frozen=True, slots=True)
+class GridGeometry:
+    """The geometry of the ReachGrid spatiotemporal grid.
+
+    Attributes
+    ----------
+    horizon:
+        The full time horizon ``T`` being indexed.
+    environment_size:
+        Width and height of the environment ``E`` in metres.
+    config:
+        Temporal resolution ``RT`` (ticks per interval) and spatial resolution
+        ``RS`` (metres per cell side).
+    """
+
+    horizon: TimeInterval
+    environment_size: Tuple[float, float]
+    config: ReachGridConfig
+
+    def __post_init__(self) -> None:
+        if self.environment_size[0] <= 0 or self.environment_size[1] <= 0:
+            raise ConfigurationError("environment dimensions must be positive")
+
+    # ------------------------------------------------------------------
+    # temporal grid
+    # ------------------------------------------------------------------
+    @property
+    def num_temporal_intervals(self) -> int:
+        """Number of temporal grid intervals covering the horizon."""
+        rt = self.config.temporal_resolution
+        return -(-self.horizon.length // rt)
+
+    def temporal_index(self, t: TimeInstant) -> int:
+        """Index of the temporal interval containing tick ``t``."""
+        if not self.horizon.contains(t):
+            raise ConfigurationError(
+                f"time {t} outside the indexed horizon {self.horizon}"
+            )
+        return (t - self.horizon.start) // self.config.temporal_resolution
+
+    def temporal_interval(self, index: int) -> TimeInterval:
+        """The time interval ``T_index`` of the temporal grid."""
+        if index < 0 or index >= self.num_temporal_intervals:
+            raise ConfigurationError(
+                f"temporal interval index {index} out of range "
+                f"[0, {self.num_temporal_intervals})"
+            )
+        rt = self.config.temporal_resolution
+        start = self.horizon.start + index * rt
+        end = min(start + rt - 1, self.horizon.end)
+        return TimeInterval(start, end)
+
+    def temporal_indices_overlapping(self, interval: TimeInterval) -> List[int]:
+        """Indices of temporal intervals overlapping ``interval`` (clipped to T)."""
+        clipped = interval.intersection(self.horizon)
+        if clipped is None:
+            return []
+        return list(
+            range(self.temporal_index(clipped.start), self.temporal_index(clipped.end) + 1)
+        )
+
+    # ------------------------------------------------------------------
+    # spatial grid
+    # ------------------------------------------------------------------
+    @property
+    def num_columns(self) -> int:
+        """Number of spatial grid columns."""
+        return max(1, -(-int(self.environment_size[0]) // int(self.config.spatial_resolution)) )
+
+    @property
+    def num_rows(self) -> int:
+        """Number of spatial grid rows."""
+        return max(1, -(-int(self.environment_size[1]) // int(self.config.spatial_resolution)) )
+
+    def spatial_cell(self, position: Point) -> Tuple[int, int]:
+        """``(column, row)`` of the spatial cell containing ``position``.
+
+        Positions outside the environment are clamped to the border cells so
+        that numerical jitter at the boundary never produces invalid keys.
+        """
+        rs = self.config.spatial_resolution
+        col = int(position.x // rs)
+        row = int(position.y // rs)
+        col = min(max(col, 0), self.num_columns - 1)
+        row = min(max(row, 0), self.num_rows - 1)
+        return (col, row)
+
+    def cell_key(self, t: TimeInstant, position: Point) -> CellKey:
+        """Full spatiotemporal cell key for a sample at ``(t, position)``."""
+        col, row = self.spatial_cell(position)
+        return (self.temporal_index(t), col, row)
+
+    def cell_bounds(self, col: int, row: int) -> MBR:
+        """Spatial rectangle covered by cell ``(col, row)``."""
+        rs = self.config.spatial_resolution
+        return MBR(col * rs, row * rs, (col + 1) * rs, (row + 1) * rs)
+
+    def cells_intersecting(self, rect: MBR, temporal_index: int) -> Iterator[CellKey]:
+        """Cell keys of one temporal interval whose area intersects ``rect``."""
+        rs = self.config.spatial_resolution
+        col_lo = max(0, int(rect.min_x // rs))
+        col_hi = min(self.num_columns - 1, int(rect.max_x // rs))
+        row_lo = max(0, int(rect.min_y // rs))
+        row_hi = min(self.num_rows - 1, int(rect.max_y // rs))
+        for col in range(col_lo, col_hi + 1):
+            for row in range(row_lo, row_hi + 1):
+                yield (temporal_index, col, row)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    @property
+    def num_spatial_cells(self) -> int:
+        """Spatial cells per temporal interval."""
+        return self.num_columns * self.num_rows
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GridGeometry(RT={self.config.temporal_resolution}, "
+            f"RS={self.config.spatial_resolution}, "
+            f"{self.num_temporal_intervals} x {self.num_columns}x{self.num_rows})"
+        )

@@ -1,0 +1,221 @@
+"""ReachGrid online query processing (Algorithm 1 of the paper).
+
+The processor incrementally discovers the objects reachable from the query
+source (the *seed set*) by sweeping the query interval in time order:
+
+1. The query interval is quantized into the temporal grid intervals it
+   overlaps.
+2. At the start of each temporal interval the cells containing the current
+   seeds are located through the external hash table and retrieved from disk;
+   the *potential seed cells* ``N_i`` — cells within ``dT`` of the expanded
+   MBRs of the seeds' trajectory segments — are retrieved as well.
+3. A time sweep over the interval joins seed positions against candidate
+   positions; whenever a new object comes within ``dT`` of a seed it is added
+   to the seed set (with the time it became reachable), its cells are fetched,
+   and the sweep continues.
+4. Processing stops as soon as the query destination enters the seed set or
+   the whole query interval has been swept.
+
+Cell retrievals are batched and issued in disk order: the index places the
+cells of one temporal interval on consecutive blocks precisely so that the
+sweep can read them (mostly) sequentially, and the processor preserves that
+locality by sorting each batch of cell keys before reading.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..core.errors import QueryError, UnknownObjectError
+from ..core.types import (
+    ObjectId,
+    Point,
+    QueryResult,
+    ReachabilityQuery,
+    TimeInstant,
+    TimeInterval,
+)
+from ..contacts.join import pairs_within_distance
+from ..trajectory.mbr import MBR
+from .cells import CellKey
+from .index import ReachGridIndex
+
+__all__ = ["ReachGridQueryProcessor"]
+
+
+class ReachGridQueryProcessor:
+    """Evaluates reachability queries against a built :class:`ReachGridIndex`."""
+
+    def __init__(self, index: ReachGridIndex) -> None:
+        if not index.is_built:
+            raise QueryError("ReachGrid index must be built before querying")
+        self.index = index
+        self._threshold = index.contact_config.distance_threshold
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def evaluate(self, query: ReachabilityQuery) -> QueryResult:
+        """Evaluate one reachability query and report IO/CPU cost."""
+        dataset = self.index.dataset
+        if query.source not in dataset:
+            raise UnknownObjectError(query.source)
+        if query.destination not in dataset:
+            raise UnknownObjectError(query.destination)
+        interval = query.interval.intersection(dataset.horizon)
+        if interval is None:
+            raise QueryError(
+                f"query interval {query.interval} does not overlap the horizon "
+                f"{dataset.horizon}"
+            )
+
+        storage = self.index.storage
+        storage.reset_for_query()
+        io_before = storage.snapshot()
+        cpu_started = time.process_time()
+
+        if query.source == query.destination:
+            return self._result(True, interval.start, io_before, cpu_started, 0)
+
+        reachable, earliest, cells_read = self._expand_seeds(
+            query.source, query.destination, interval
+        )
+        return self._result(reachable, earliest, io_before, cpu_started, cells_read)
+
+    # ------------------------------------------------------------------
+    # core expansion
+    # ------------------------------------------------------------------
+    def _expand_seeds(
+        self,
+        source: ObjectId,
+        destination: ObjectId,
+        interval: TimeInterval,
+    ) -> Tuple[bool, Optional[TimeInstant], int]:
+        """Run the guided seed-set expansion of Algorithm 1."""
+        geometry = self.index.geometry
+        threshold = self._threshold
+        seeds: Dict[ObjectId, TimeInstant] = {source: interval.start}
+        cells_read = 0
+
+        for temporal_index in geometry.temporal_indices_overlapping(interval):
+            window = geometry.temporal_interval(temporal_index).intersection(interval)
+            if window is None:
+                continue
+
+            loaded_cells: Set[CellKey] = set()
+            positions_by_tick: Dict[TimeInstant, Dict[ObjectId, Point]] = {}
+
+            def load_cells(keys: Iterable[CellKey]) -> None:
+                """Read a batch of cells in disk (sorted-key) order."""
+                nonlocal cells_read
+                pending = sorted(
+                    key
+                    for key in set(keys)
+                    if key not in loaded_cells
+                )
+                for key in pending:
+                    loaded_cells.add(key)
+                    if not self.index.has_cell(key):
+                        continue
+                    cells_read += 1
+                    for object_id, t, x, y in self.index.read_cell(key):
+                        if window.contains(t):
+                            positions_by_tick.setdefault(t, {})[object_id] = Point(x, y)
+
+            def own_cell_keys(object_id: ObjectId) -> List[CellKey]:
+                return [
+                    (temporal_index, col, row)
+                    for col, row in self.index.cells_of_object(object_id, temporal_index)
+                ]
+
+            def neighbourhood_keys(
+                object_id: ObjectId, from_time: TimeInstant
+            ) -> List[CellKey]:
+                """Potential-seed cells ``N_i`` around one seed's trajectory MBR."""
+                samples = [
+                    positions_by_tick[t][object_id]
+                    for t in range(from_time, window.end + 1)
+                    if t in positions_by_tick and object_id in positions_by_tick[t]
+                ]
+                if not samples:
+                    return []
+                rect = MBR.from_points(samples).expanded(threshold)
+                return list(geometry.cells_intersecting(rect, temporal_index))
+
+            # Locate and retrieve the cells of every current seed (hash lookups
+            # followed by one disk-ordered batch read), then the potential seed
+            # cells within dT of their trajectory MBRs (a second batch).
+            current_seeds = list(seeds)
+            load_cells(
+                key for seed in current_seeds for key in own_cell_keys(seed)
+            )
+            load_cells(
+                key
+                for seed in current_seeds
+                for key in neighbourhood_keys(seed, window.start)
+            )
+
+            # Sweep the window tick by tick, discovering new seeds in the
+            # order they become reachable.
+            for t in window.instants():
+                positions = positions_by_tick.get(t, {})
+                if not positions:
+                    continue
+                # Fixed point at this tick: a snapshot contact chain makes all
+                # of its members reachable at the same instant (Property 5.1).
+                while True:
+                    active_seeds = {
+                        o for o, reached in seeds.items() if reached <= t and o in positions
+                    }
+                    if not active_seeds:
+                        break
+                    new_objects: List[ObjectId] = []
+                    for a, b in pairs_within_distance(positions, threshold):
+                        a_is_seed = a in active_seeds
+                        b_is_seed = b in active_seeds
+                        if a_is_seed == b_is_seed:
+                            continue
+                        newcomer = b if a_is_seed else a
+                        if newcomer not in seeds:
+                            seeds[newcomer] = t
+                            new_objects.append(newcomer)
+                    if not new_objects:
+                        break
+                    if destination in seeds:
+                        return True, seeds[destination], cells_read
+                    load_cells(
+                        key
+                        for newcomer in new_objects
+                        for key in own_cell_keys(newcomer)
+                    )
+                    load_cells(
+                        key
+                        for newcomer in new_objects
+                        for key in neighbourhood_keys(newcomer, t)
+                    )
+
+        return destination in seeds, seeds.get(destination), cells_read
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _result(
+        self,
+        reachable: bool,
+        earliest: Optional[TimeInstant],
+        io_before,
+        cpu_started: float,
+        cells_read: int,
+    ) -> QueryResult:
+        storage = self.index.storage
+        delta = storage.charge_since(io_before)
+        return QueryResult(
+            reachable=reachable,
+            earliest_time=earliest if reachable else None,
+            io=delta.normalized(storage.config.sequential_cost),
+            random_ios=delta.random_reads,
+            sequential_ios=delta.sequential_reads,
+            cpu_seconds=time.process_time() - cpu_started,
+            visited=cells_read,
+        )

@@ -1,0 +1,124 @@
+"""An LRU buffer pool fronting the simulated disk.
+
+Both ReachGrid and ReachGraph rely on buffering during query processing:
+ReachGrid buffers the grid cells retrieved within a temporal interval, and
+ReachGraph buffers whole partitions so that future vertices in the same
+partition are served from memory.  The buffer pool implements the standard
+database pattern — fixed capacity, least-recently-used eviction — and routes
+misses to the underlying :class:`~repro.storage.disk.SimulatedDisk`, which is
+where the IO accounting happens.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Iterable, Optional
+
+from ..core.errors import BufferPoolError
+from .disk import SimulatedDisk
+from .stats import IOStats
+
+__all__ = ["BufferPool"]
+
+
+class BufferPool:
+    """Fixed-capacity LRU cache of disk blocks.
+
+    Parameters
+    ----------
+    disk:
+        The simulated device to read from on a miss.
+    capacity:
+        Maximum number of blocks held in memory at once.
+    """
+
+    def __init__(self, disk: SimulatedDisk, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise BufferPoolError("buffer pool capacity must be positive")
+        self._disk = disk
+        self._capacity = capacity
+        self._frames: "OrderedDict[int, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Maximum number of resident blocks."""
+        return self._capacity
+
+    @property
+    def stats(self) -> IOStats:
+        """The IO counters of the underlying disk."""
+        return self._disk.stats
+
+    @property
+    def resident_blocks(self) -> int:
+        """Number of blocks currently held in memory."""
+        return len(self._frames)
+
+    def contains(self, block_id: int) -> bool:
+        """True when ``block_id`` is resident (does not touch recency)."""
+        return block_id in self._frames
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def read(self, block_id: int) -> Any:
+        """Return the payload of ``block_id``, fetching it on a miss."""
+        if block_id in self._frames:
+            self._frames.move_to_end(block_id)
+            self.hits += 1
+            self._disk.stats.record_buffer_hit(block_id)
+            return self._frames[block_id]
+        payload = self._disk.read(block_id)
+        self.misses += 1
+        self._insert(block_id, payload)
+        return payload
+
+    def read_many(self, block_ids: Iterable[int]) -> list:
+        """Read several blocks in the given order and return their payloads."""
+        return [self.read(block_id) for block_id in block_ids]
+
+    def prefetch(self, block_ids: Iterable[int]) -> None:
+        """Fetch blocks into the pool without returning their payloads."""
+        for block_id in block_ids:
+            self.read(block_id)
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def _insert(self, block_id: int, payload: Any) -> None:
+        self._frames[block_id] = payload
+        self._frames.move_to_end(block_id)
+        while len(self._frames) > self._capacity:
+            self._frames.popitem(last=False)
+
+    def invalidate(self, block_id: Optional[int] = None) -> None:
+        """Drop one block (or the whole pool when ``block_id`` is ``None``)."""
+        if block_id is None:
+            self._frames.clear()
+        else:
+            self._frames.pop(block_id, None)
+
+    def clear(self) -> None:
+        """Drop every resident block and zero the hit/miss counters."""
+        self._frames.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of reads served from memory (0.0 when nothing was read)."""
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BufferPool(capacity={self._capacity}, resident={len(self._frames)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,26 @@
+"""Trajectory substrate: models, interpolation, MBRs, and disk-backed storage."""
+
+from __future__ import annotations
+
+from .interpolation import densify_sparse_samples, downsample, interpolate_linear
+from .mbr import MBR, segment_mbr
+from .model import (
+    Trajectory,
+    TrajectoryDataset,
+    TrajectorySample,
+    TrajectorySegment,
+)
+from .store import TrajectoryStore
+
+__all__ = [
+    "Trajectory",
+    "TrajectoryDataset",
+    "TrajectorySample",
+    "TrajectorySegment",
+    "TrajectoryStore",
+    "MBR",
+    "segment_mbr",
+    "interpolate_linear",
+    "densify_sparse_samples",
+    "downsample",
+]

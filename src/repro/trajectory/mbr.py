@@ -1,0 +1,119 @@
+"""Minimum bounding rectangles over trajectory segments.
+
+ReachGrid's query processing finds the grid cells that may contain an object
+in contact with a seed by building the MBR of each seed's trajectory segment,
+expanding it by the contact threshold ``dT``, and collecting the cells that
+intersect the expanded rectangle (Section 4.2, Figure 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..core.errors import TrajectoryError
+from ..core.types import Point
+from .model import TrajectorySegment
+
+__all__ = ["MBR", "segment_mbr"]
+
+
+@dataclass(frozen=True, slots=True)
+class MBR:
+    """An axis-aligned minimum bounding rectangle ``[min_x, max_x] x [min_y, max_y]``."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.max_x < self.min_x or self.max_y < self.min_y:
+            raise TrajectoryError("MBR has negative extent")
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_points(points: Iterable[Point]) -> "MBR":
+        """Tightest MBR containing all ``points`` (at least one required)."""
+        iterator = iter(points)
+        try:
+            first = next(iterator)
+        except StopIteration as exc:
+            raise TrajectoryError("cannot build an MBR from zero points") from exc
+        min_x = max_x = first.x
+        min_y = max_y = first.y
+        for point in iterator:
+            min_x = min(min_x, point.x)
+            max_x = max(max_x, point.x)
+            min_y = min(min_y, point.y)
+            max_y = max(max_y, point.y)
+        return MBR(min_x, min_y, max_x, max_y)
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> float:
+        """Extent along the x axis."""
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        """Extent along the y axis."""
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        """Area of the rectangle."""
+        return self.width * self.height
+
+    def expanded(self, margin: float) -> "MBR":
+        """The rectangle grown by ``margin`` on every side (the ``dT`` buffer)."""
+        if margin < 0:
+            raise TrajectoryError("MBR expansion margin must be non-negative")
+        return MBR(
+            self.min_x - margin,
+            self.min_y - margin,
+            self.max_x + margin,
+            self.max_y + margin,
+        )
+
+    def contains_point(self, point: Point) -> bool:
+        """True when ``point`` lies inside (or on the boundary of) the rectangle."""
+        return (
+            self.min_x <= point.x <= self.max_x
+            and self.min_y <= point.y <= self.max_y
+        )
+
+    def intersects(self, other: "MBR") -> bool:
+        """True when the rectangles share at least a boundary point."""
+        return (
+            self.min_x <= other.max_x
+            and other.min_x <= self.max_x
+            and self.min_y <= other.max_y
+            and other.min_y <= self.max_y
+        )
+
+    def union(self, other: "MBR") -> "MBR":
+        """Smallest rectangle containing both rectangles."""
+        return MBR(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+        )
+
+    def min_distance_to(self, point: Point) -> float:
+        """Euclidean distance from ``point`` to the rectangle (0 when inside)."""
+        dx = max(self.min_x - point.x, 0.0, point.x - self.max_x)
+        dy = max(self.min_y - point.y, 0.0, point.y - self.max_y)
+        return (dx * dx + dy * dy) ** 0.5
+
+
+def segment_mbr(segment: TrajectorySegment) -> Optional[MBR]:
+    """MBR of a trajectory segment, or ``None`` when the segment is empty."""
+    if segment.is_empty():
+        return None
+    return MBR.from_points(segment.positions())

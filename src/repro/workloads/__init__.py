@@ -1,0 +1,16 @@
+"""Canned dataset specifications and query workload generators."""
+
+from __future__ import annotations
+
+from .datasets import DATASETS, DatasetSpec, dataset_names, make_dataset
+from .queries import QueryWorkload, fixed_length_queries, random_queries
+
+__all__ = [
+    "DatasetSpec",
+    "DATASETS",
+    "dataset_names",
+    "make_dataset",
+    "QueryWorkload",
+    "random_queries",
+    "fixed_length_queries",
+]

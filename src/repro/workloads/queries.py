@@ -1,0 +1,95 @@
+"""Query workload generation.
+
+The paper evaluates each setting with 400 random queries whose sources and
+destinations are drawn uniformly and whose interval length is uniform in
+[150, 350] (Section 6), plus fixed-length workloads of 100/300/500 instants
+for the ReachGrid-vs-ReachGraph comparison (Figure 14).  This module generates
+those workloads deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..core.errors import DatasetError
+from ..core.types import ReachabilityQuery, TimeInterval
+from ..trajectory.model import TrajectoryDataset
+
+__all__ = ["QueryWorkload", "random_queries", "fixed_length_queries"]
+
+
+@dataclass(frozen=True, slots=True)
+class QueryWorkload:
+    """A named batch of reachability queries."""
+
+    name: str
+    queries: Tuple[ReachabilityQuery, ...]
+
+    def __iter__(self) -> Iterator[ReachabilityQuery]:
+        return iter(self.queries)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+
+def _clamp_length_range(
+    horizon: TimeInterval, length_range: Tuple[int, int]
+) -> Tuple[int, int]:
+    lo, hi = length_range
+    if lo <= 0 or hi < lo:
+        raise DatasetError("query length range must be positive and ordered")
+    hi = min(hi, horizon.length)
+    lo = min(lo, hi)
+    return lo, hi
+
+
+def random_queries(
+    dataset: TrajectoryDataset,
+    count: int = 400,
+    length_range: Tuple[int, int] = (150, 350),
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> QueryWorkload:
+    """The paper's default workload: random endpoints, random interval length."""
+    if count <= 0:
+        raise DatasetError("query count must be positive")
+    rng = random.Random(seed)
+    horizon = dataset.horizon
+    lo, hi = _clamp_length_range(horizon, length_range)
+    objects = dataset.object_ids
+    if len(objects) < 2:
+        raise DatasetError("need at least two objects to generate queries")
+
+    queries: List[ReachabilityQuery] = []
+    for _ in range(count):
+        source, destination = rng.sample(objects, 2)
+        length = rng.randint(lo, hi)
+        start = rng.randint(horizon.start, horizon.end - length + 1)
+        queries.append(
+            ReachabilityQuery(
+                source, destination, TimeInterval(start, start + length - 1)
+            )
+        )
+    return QueryWorkload(
+        name=name or f"{dataset.name}-random-{count}",
+        queries=tuple(queries),
+    )
+
+
+def fixed_length_queries(
+    dataset: TrajectoryDataset,
+    length: int,
+    count: int = 100,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> QueryWorkload:
+    """Workload with a fixed query-interval length (Figure 14/15 sweeps)."""
+    return random_queries(
+        dataset,
+        count=count,
+        length_range=(length, length),
+        seed=seed,
+        name=name or f"{dataset.name}-len{length}-{count}",
+    )

@@ -1,0 +1,138 @@
+"""Unit and integration tests for the SPJ, GRAIL, and external-traversal baselines."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines import (
+    ExternalBfsBaseline,
+    ExternalDfsBaseline,
+    GrailIndex,
+    SpjBaseline,
+    evaluate_reachability,
+)
+from repro.core import (
+    GrailConfig,
+    IndexConstructionError,
+    IndexNotBuiltError,
+    QueryError,
+    ReachabilityQuery,
+    TimeInterval,
+    UnknownObjectError,
+)
+from repro.reachgraph import reduce_contact_network
+from repro.trajectory import TrajectoryStore
+
+
+def random_queries(network, count, seed, min_len=5, max_len=70):
+    rng = random.Random(seed)
+    horizon = network.horizon
+    for _ in range(count):
+        source, destination = rng.sample(network.object_ids, 2)
+        start = rng.randint(horizon.start, horizon.end - min_len)
+        end = min(start + rng.randint(min_len, max_len), horizon.end)
+        yield ReachabilityQuery(source, destination, TimeInterval(start, end))
+
+
+class TestSpjBaseline:
+    def test_requires_built_store(self, tiny_dataset):
+        with pytest.raises(QueryError):
+            SpjBaseline(TrajectoryStore(tiny_dataset), 30.0)
+
+    def test_rejects_bad_threshold(self, tiny_store):
+        with pytest.raises(QueryError):
+            SpjBaseline(tiny_store, 0.0)
+
+    def test_matches_reference(self, tiny_store, tiny_network):
+        spj = SpjBaseline(tiny_store, tiny_network.distance_threshold)
+        for query in random_queries(tiny_network, 25, seed=3):
+            expected = evaluate_reachability(tiny_network, query)
+            actual = spj.evaluate(query)
+            assert actual.reachable == expected.reachable, query
+            if expected.reachable:
+                assert actual.earliest_time == expected.earliest_time
+
+    def test_io_grows_with_interval_length(self, tiny_store, tiny_network):
+        spj = SpjBaseline(tiny_store, tiny_network.distance_threshold)
+        objects = tiny_network.object_ids
+        short = spj.evaluate(ReachabilityQuery(objects[0], objects[1], TimeInterval(0, 20)))
+        long = spj.evaluate(ReachabilityQuery(objects[0], objects[1], TimeInterval(0, 110)))
+        assert long.io > short.io
+
+    def test_unknown_object_rejected(self, tiny_store, tiny_network):
+        spj = SpjBaseline(tiny_store, tiny_network.distance_threshold)
+        with pytest.raises(UnknownObjectError):
+            spj.evaluate(ReachabilityQuery(77_777, 0, TimeInterval(0, 10)))
+
+    def test_source_equals_destination(self, tiny_store, tiny_network):
+        spj = SpjBaseline(tiny_store, tiny_network.distance_threshold)
+        result = spj.evaluate(ReachabilityQuery(5, 5, TimeInterval(0, 10)))
+        assert result.reachable and result.earliest_time == 0
+
+
+class TestGrailIndex:
+    @pytest.fixture(scope="class")
+    def tiny_grail(self, tiny_network):
+        dag, _ = reduce_contact_network(tiny_network)
+        return GrailIndex(dag, GrailConfig(num_labelings=3, seed=5)).build()
+
+    def test_double_build_rejected(self, tiny_grail):
+        with pytest.raises(IndexConstructionError):
+            tiny_grail.build()
+
+    def test_query_before_build_rejected(self, tiny_network):
+        dag, _ = reduce_contact_network(tiny_network)
+        index = GrailIndex(dag)
+        with pytest.raises(IndexNotBuiltError):
+            index.evaluate_memory(ReachabilityQuery(0, 1, TimeInterval(0, 10)))
+
+    def test_labels_are_containment_consistent(self, tiny_grail):
+        """For every DN edge u -> v, the label of v is contained in u's label
+        (a descendant's interval never extends outside its ancestor's)."""
+        dag = tiny_grail.dag
+        for source_id in dag.topological_order():
+            source_labels = tiny_grail.labels_of(source_id)
+            for target_id in dag.successors(source_id):
+                target_labels = tiny_grail.labels_of(target_id)
+                for (source_low, source_rank), (target_low, target_rank) in zip(
+                    source_labels, target_labels
+                ):
+                    assert source_low <= target_low
+                    assert target_rank <= source_rank
+
+    def test_memory_query_matches_reference(self, tiny_grail, tiny_network):
+        for query in random_queries(tiny_network, 25, seed=7):
+            expected = evaluate_reachability(tiny_network, query)
+            assert tiny_grail.evaluate_memory(query).reachable == expected.reachable
+
+    def test_disk_query_matches_reference_and_charges_io(self, tiny_grail, tiny_network):
+        saw_io = False
+        for query in random_queries(tiny_network, 20, seed=11):
+            expected = evaluate_reachability(tiny_network, query)
+            actual = tiny_grail.evaluate_disk(query)
+            assert actual.reachable == expected.reachable
+            saw_io = saw_io or actual.io > 0
+        assert saw_io
+
+    def test_memory_query_reports_cpu_only(self, tiny_grail, tiny_network):
+        query = next(iter(random_queries(tiny_network, 1, seed=13)))
+        result = tiny_grail.evaluate_memory(query)
+        assert result.io == 0.0
+
+    def test_interval_outside_horizon_rejected(self, tiny_grail):
+        with pytest.raises(QueryError):
+            tiny_grail.evaluate_memory(
+                ReachabilityQuery(0, 1, TimeInterval(50_000, 50_010))
+            )
+
+
+class TestExternalTraversalBaselines:
+    def test_edfs_and_ebfs_match_reference(self, tiny_reachgraph, tiny_network):
+        edfs = ExternalDfsBaseline(tiny_reachgraph)
+        ebfs = ExternalBfsBaseline(tiny_reachgraph)
+        for query in random_queries(tiny_network, 20, seed=17):
+            expected = evaluate_reachability(tiny_network, query).reachable
+            assert edfs.evaluate(query).reachable == expected
+            assert ebfs.evaluate(query).reachable == expected

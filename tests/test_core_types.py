@@ -1,0 +1,112 @@
+"""Unit tests for the core value types (TimeInterval, Point, queries)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    InvalidIntervalError,
+    Point,
+    QueryResult,
+    ReachabilityQuery,
+    TimeInterval,
+)
+from repro.core.types import euclidean_distance, span_of
+
+
+class TestPoint:
+    def test_distance_is_euclidean(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_is_symmetric(self):
+        a, b = Point(1.5, -2.0), Point(-3.0, 7.25)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    def test_module_level_distance_matches_method(self):
+        a, b = Point(2, 3), Point(5, 9)
+        assert euclidean_distance(a, b) == pytest.approx(a.distance_to(b))
+
+    def test_translated_moves_both_axes(self):
+        assert Point(1, 2).translated(3, -4) == Point(4, -2)
+
+    def test_as_tuple(self):
+        assert Point(1.5, 2.5).as_tuple() == (1.5, 2.5)
+
+
+class TestTimeInterval:
+    def test_length_counts_instances_inclusively(self):
+        assert TimeInterval(3, 7).length == 5
+        assert TimeInterval(4, 4).length == 1
+
+    def test_rejects_reversed_interval(self):
+        with pytest.raises(InvalidIntervalError):
+            TimeInterval(5, 3)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(InvalidIntervalError):
+            TimeInterval(-1, 3)
+
+    def test_contains_endpoint_and_midpoint(self):
+        interval = TimeInterval(2, 10)
+        assert interval.contains(2)
+        assert interval.contains(10)
+        assert not interval.contains(11)
+        assert interval.midpoint == 6
+
+    def test_overlaps_and_intersection(self):
+        a, b = TimeInterval(0, 5), TimeInterval(4, 9)
+        assert a.overlaps(b) and b.overlaps(a)
+        assert a.intersection(b) == TimeInterval(4, 5)
+
+    def test_disjoint_intervals_do_not_intersect(self):
+        a, b = TimeInterval(0, 3), TimeInterval(4, 6)
+        assert not a.overlaps(b)
+        assert a.intersection(b) is None
+
+    def test_contains_interval(self):
+        assert TimeInterval(0, 10).contains_interval(TimeInterval(3, 7))
+        assert not TimeInterval(0, 10).contains_interval(TimeInterval(3, 12))
+
+    def test_union_span_covers_gap(self):
+        assert TimeInterval(0, 2).union_span(TimeInterval(8, 9)) == TimeInterval(0, 9)
+
+    def test_split_covers_interval_without_overlap(self):
+        parts = list(TimeInterval(0, 10).split(4))
+        assert parts == [TimeInterval(0, 3), TimeInterval(4, 7), TimeInterval(8, 10)]
+        assert sum(p.length for p in parts) == 11
+
+    def test_split_rejects_non_positive_chunk(self):
+        with pytest.raises(InvalidIntervalError):
+            list(TimeInterval(0, 10).split(0))
+
+    def test_iteration_yields_every_instant(self):
+        assert list(TimeInterval(3, 6)) == [3, 4, 5, 6]
+        assert len(TimeInterval(3, 6)) == 4
+
+    def test_clipped_and_shifted(self):
+        assert TimeInterval(2, 9).clipped(4, 20) == TimeInterval(4, 9)
+        assert TimeInterval(2, 9).clipped(10, 20) is None
+        assert TimeInterval(2, 9).shifted(5) == TimeInterval(7, 14)
+
+    def test_span_of(self):
+        assert span_of([5, 2, 9, 3]) == TimeInterval(2, 9)
+        with pytest.raises(InvalidIntervalError):
+            span_of([])
+
+
+class TestQueryTypes:
+    def test_query_reversed_swaps_endpoints(self):
+        query = ReachabilityQuery(1, 2, TimeInterval(0, 10))
+        reverse = query.reversed()
+        assert (reverse.source, reverse.destination) == (2, 1)
+        assert reverse.interval == query.interval
+
+    def test_query_result_truthiness(self):
+        assert bool(QueryResult(reachable=True))
+        assert not bool(QueryResult(reachable=False))
+
+    def test_query_result_defaults(self):
+        result = QueryResult(reachable=False)
+        assert result.io == 0.0
+        assert result.earliest_time is None
+        assert result.visited == 0

@@ -1,0 +1,146 @@
+"""Tests for the ReachabilityEngine facade and the workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ReachabilityEngine, ReachabilityQuery, TimeInterval
+from repro.core import DatasetError, IndexNotBuiltError, QueryError
+from repro.workloads import (
+    DATASETS,
+    dataset_names,
+    fixed_length_queries,
+    make_dataset,
+    random_queries,
+)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    built = ReachabilityEngine.from_dataset_name("rwp-tiny")
+    built.build_reachgrid()
+    built.build_reachgraph()
+    built.build_trajectory_store()
+    built.build_grail()
+    return built
+
+
+class TestReachabilityEngine:
+    def test_from_dataset_name_uses_spec_threshold(self, engine):
+        assert engine.contact_config.distance_threshold == DATASETS["rwp-tiny"].contact_threshold
+
+    def test_contact_network_is_cached(self, engine):
+        assert engine.contact_network is engine.contact_network
+
+    def test_every_method_agrees_with_reference(self, engine):
+        methods = (
+            "reachgrid",
+            "reachgraph",
+            "reachgraph-b-bfs",
+            "reachgraph-e-dfs",
+            "spj",
+            "grail-memory",
+            "grail-disk",
+        )
+        horizon = engine.dataset.horizon
+        objects = engine.dataset.object_ids
+        for index in range(8):
+            query = ReachabilityQuery(
+                objects[index],
+                objects[-(index + 1)],
+                TimeInterval(horizon.start, horizon.start + 80),
+            )
+            expected = engine.evaluate(query, "reference").reachable
+            for method in methods:
+                assert engine.evaluate(query, method).reachable == expected, method
+
+    def test_compare_returns_one_result_per_method(self, engine):
+        query = ReachabilityQuery(0, 1, TimeInterval(0, 60))
+        results = engine.compare(query, methods=("reachgrid", "reachgraph"))
+        assert set(results) == {"reachgrid", "reachgraph"}
+
+    def test_unknown_method_rejected(self, engine):
+        with pytest.raises(QueryError):
+            engine.evaluate(ReachabilityQuery(0, 1, TimeInterval(0, 10)), "magic")
+
+    def test_unbuilt_indexes_raise(self):
+        fresh = ReachabilityEngine.from_dataset_name("rwp-tiny")
+        query = ReachabilityQuery(0, 1, TimeInterval(0, 10))
+        with pytest.raises(IndexNotBuiltError):
+            fresh.evaluate(query, "reachgrid")
+        with pytest.raises(IndexNotBuiltError):
+            fresh.evaluate(query, "reachgraph")
+        with pytest.raises(IndexNotBuiltError):
+            fresh.evaluate(query, "spj")
+        with pytest.raises(IndexNotBuiltError):
+            fresh.reachgrid
+        with pytest.raises(IndexNotBuiltError):
+            fresh.reachgraph
+        with pytest.raises(IndexNotBuiltError):
+            fresh.grail
+
+
+class TestDatasetSpecs:
+    def test_all_families_are_present(self):
+        families = {spec.family for spec in DATASETS.values()}
+        assert families == {"rwp", "vn", "vnr"}
+
+    def test_dataset_names_match_registry(self):
+        assert set(dataset_names()) == set(DATASETS)
+
+    def test_make_dataset_unknown_name_raises(self):
+        with pytest.raises(DatasetError):
+            make_dataset("no-such-dataset")
+
+    def test_make_dataset_produces_spec_dimensions(self):
+        spec = DATASETS["rwp-tiny"]
+        dataset = make_dataset("rwp-tiny")
+        assert dataset.num_objects == spec.num_objects
+        assert dataset.num_instants == spec.horizon
+        assert dataset.name == "rwp-tiny"
+
+    def test_contact_thresholds_match_paper(self):
+        assert DATASETS["rwp-small"].contact_threshold == 25.0
+        assert DATASETS["vn-small"].contact_threshold == 300.0
+
+    def test_specs_are_deterministic(self):
+        first = make_dataset("vn-tiny")
+        second = make_dataset("vn-tiny")
+        assert first.trajectory(3).position_at(50) == second.trajectory(3).position_at(50)
+
+
+class TestQueryWorkloads:
+    def test_random_queries_respect_length_range(self, tiny_dataset):
+        workload = random_queries(tiny_dataset, count=50, length_range=(10, 30), seed=1)
+        assert len(workload) == 50
+        for query in workload:
+            assert 10 <= query.interval.length <= 30
+            assert query.source != query.destination
+            assert tiny_dataset.horizon.contains_interval(query.interval)
+
+    def test_random_queries_clamp_length_to_horizon(self, tiny_dataset):
+        workload = random_queries(
+            tiny_dataset, count=10, length_range=(10_000, 20_000), seed=2
+        )
+        for query in workload:
+            assert query.interval.length == tiny_dataset.num_instants
+
+    def test_random_queries_are_deterministic_per_seed(self, tiny_dataset):
+        first = random_queries(tiny_dataset, count=10, seed=5)
+        second = random_queries(tiny_dataset, count=10, seed=5)
+        assert first.queries == second.queries
+        different = random_queries(tiny_dataset, count=10, seed=6)
+        assert first.queries != different.queries
+
+    def test_fixed_length_queries(self, tiny_dataset):
+        workload = fixed_length_queries(tiny_dataset, length=40, count=12, seed=3)
+        assert len(workload) == 12
+        assert all(query.interval.length == 40 for query in workload)
+
+    def test_invalid_parameters_rejected(self, tiny_dataset):
+        with pytest.raises(DatasetError):
+            random_queries(tiny_dataset, count=0)
+        with pytest.raises(DatasetError):
+            random_queries(tiny_dataset, count=5, length_range=(0, 10))
+        with pytest.raises(DatasetError):
+            random_queries(tiny_dataset, count=5, length_range=(10, 5))

@@ -1,0 +1,182 @@
+"""Tests for the experiment harness, drivers, reporting, and the CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import QueryResult
+from repro.experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    aggregate_results,
+    format_result,
+    format_results,
+    render_table,
+    run_workload,
+)
+from repro.experiments.figures import (
+    clear_cache,
+    figure13_traversal_strategies,
+    figure10_contact_network_size,
+    reachgrid_vs_spj,
+    reduction_ratio,
+    table1_complexity,
+    table4_average_degree,
+)
+from repro.cli import build_parser, main
+
+
+class TestHarness:
+    def test_aggregate_results_means(self):
+        results = [
+            QueryResult(reachable=True, io=10.0, random_ios=8, cpu_seconds=0.002, visited=4),
+            QueryResult(reachable=False, io=20.0, random_ios=16, cpu_seconds=0.004, visited=8),
+        ]
+        aggregate = aggregate_results("m", results)
+        assert aggregate.mean_io == pytest.approx(15.0)
+        assert aggregate.mean_random_ios == pytest.approx(12.0)
+        assert aggregate.reachable_fraction == pytest.approx(0.5)
+        assert aggregate.as_row()["method"] == "m"
+
+    def test_aggregate_of_empty_results(self):
+        aggregate = aggregate_results("m", [])
+        assert aggregate.num_queries == 0
+        assert aggregate.mean_io == 0.0
+
+    def test_run_workload_with_limit(self):
+        calls = []
+
+        def evaluate(query):
+            calls.append(query)
+            return QueryResult(reachable=True, io=1.0)
+
+        aggregate = run_workload(evaluate, range(10), method="count", limit=4)
+        assert aggregate.num_queries == 4
+        assert len(calls) == 4
+
+    def test_experiment_result_columns(self):
+        result = ExperimentResult("x", "desc")
+        result.add_row(a=1, b=2)
+        result.add_row(a=3, c=4)
+        assert result.column_names() == ["a", "b", "c"]
+        assert result.column("a") == [1, 3]
+        assert result.column("c") == [4]
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        text = render_table(["name", "value"], [["a", 1], ["longer", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_format_result_includes_notes(self):
+        result = ExperimentResult("exp", "a description")
+        result.add_row(x=1)
+        result.add_note("something to remember")
+        text = format_result(result)
+        assert "exp" in text and "a description" in text
+        assert "something to remember" in text
+
+    def test_format_result_with_no_rows(self):
+        text = format_result(ExperimentResult("empty", "nothing"))
+        assert "(no rows)" in text
+
+    def test_format_results_joins_sections(self):
+        a = ExperimentResult("a", "first")
+        b = ExperimentResult("b", "second")
+        text = format_results([a, b])
+        assert "== a:" in text and "== b:" in text
+
+
+class TestExperimentDrivers:
+    """Quick sanity runs of representative drivers on the tiny datasets."""
+
+    @classmethod
+    def teardown_class(cls):
+        clear_cache()
+
+    def test_registry_covers_every_table_and_figure(self):
+        assert set(EXPERIMENTS) == {
+            "table1",
+            "figure8",
+            "figure9",
+            "figure10",
+            "figure11",
+            "reduction",
+            "table4",
+            "figure12",
+            "figure13",
+            "spj",
+            "figure14",
+            "figure15",
+            "table5",
+        }
+
+    def test_table1_is_static(self):
+        result = table1_complexity()
+        assert len(result.rows) == 3
+        approaches = result.column("approach")
+        assert approaches == ["GRAIL", "ReachGraph", "ReachGrid"]
+
+    def test_reduction_ratio_on_tiny_datasets(self):
+        result = reduction_ratio(dataset_names=("rwp-tiny",))
+        row = result.rows[0]
+        assert row["dn_vertices"] < row["ten_vertices"]
+        assert 0 < row["vertex_reduction_pct"] < 100
+
+    def test_figure10_sizes_grow_with_horizon(self):
+        result = figure10_contact_network_size(
+            dataset_names=("rwp-tiny",), horizon_fractions=(0.5, 1.0)
+        )
+        vertices = result.column("dn_vertices")
+        assert vertices[0] <= vertices[1]
+
+    def test_table4_degree_grows_with_resolution(self):
+        result = table4_average_degree(dataset_names=("rwp-tiny",), resolutions=(2, 8))
+        degrees = {row["resolution"]: row["average_degree"] for row in result.rows}
+        assert degrees[8] >= degrees[2]
+
+    def test_figure13_strategy_rows(self):
+        result = figure13_traversal_strategies(
+            dataset_names=("rwp-tiny",), num_queries=5
+        )
+        strategies = result.column("strategy")
+        assert strategies == ["bm-bfs", "b-bfs", "e-dfs"]
+        by_strategy = {row["strategy"]: row["mean_visited"] for row in result.rows}
+        assert by_strategy["bm-bfs"] <= by_strategy["e-dfs"]
+
+    def test_spj_driver_reports_improvement_column(self):
+        result = reachgrid_vs_spj(dataset_names=("rwp-tiny",), num_queries=3)
+        assert "improvement_pct" in result.column_names()
+
+
+class TestCli:
+    def test_parser_accepts_known_arguments(self):
+        parser = build_parser()
+        args = parser.parse_args(["figure13", "--quick", "--output", "report.txt"])
+        assert args.experiment == "figure13"
+        assert args.quick is True
+        assert args.output == "report.txt"
+
+    def test_list_prints_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in output
+
+    def test_unknown_experiment_exits_with_error(self):
+        with pytest.raises(SystemExit):
+            main(["does-not-exist"])
+
+    def test_running_table1_prints_table(self, capsys):
+        assert main(["table1"]) == 0
+        output = capsys.readouterr().out
+        assert "ReachGraph" in output and "ReachGrid" in output
+
+    def test_output_file_is_written(self, tmp_path, capsys):
+        target = tmp_path / "report.txt"
+        assert main(["table1", "--output", str(target)]) == 0
+        capsys.readouterr()
+        assert "GRAIL" in target.read_text()

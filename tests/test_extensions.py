@@ -1,0 +1,199 @@
+"""Unit tests for the Section 7 extensions: uncertain and non-immediate contacts."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.contacts import Contact, ContactNetwork
+from repro.core import ContactNetworkError, Point, QueryError, ReachabilityQuery, TimeInterval
+from repro.extensions import (
+    NonImmediateContact,
+    NonImmediateReachability,
+    UncertainContact,
+    UncertainContactNetwork,
+    UReachGraph,
+    assign_probabilities,
+    build_non_immediate_contacts,
+)
+from repro.trajectory import Trajectory, TrajectoryDataset
+
+
+def query(source, destination, start, end):
+    return ReachabilityQuery(source, destination, TimeInterval(start, end))
+
+
+class TestUncertainContacts:
+    def test_probability_must_be_in_unit_interval(self, figure1_network):
+        contact = figure1_network.contacts[0]
+        with pytest.raises(ContactNetworkError):
+            UncertainContact(contact, 0.0)
+        with pytest.raises(ContactNetworkError):
+            UncertainContact(contact, 1.2)
+
+    def test_assign_probabilities_covers_every_contact(self, figure1_network):
+        uncertain = assign_probabilities(figure1_network, base_probability=0.5)
+        assert len(uncertain.contacts) == figure1_network.num_contacts
+        assert all(0 < c.probability <= 1 for c in uncertain.contacts)
+
+    def test_longer_contacts_get_higher_probability(self, figure1_network):
+        uncertain = assign_probabilities(
+            figure1_network, base_probability=0.5, duration_bonus=0.1
+        )
+        by_pair = {
+            (c.contact.objects, c.contact.validity.length): c.probability
+            for c in uncertain.contacts
+        }
+        # c1 = {1,2} over one tick, c4 = {1,2} over two ticks.
+        assert by_pair[((1, 2), 2)] > by_pair[((1, 2), 1)]
+
+    def test_unknown_contact_rejected(self, figure1_network, figure1_dataset):
+        foreign = Contact(1, 3, TimeInterval(0, 0))
+        with pytest.raises(ContactNetworkError):
+            UncertainContactNetwork(
+                figure1_network, [UncertainContact(foreign, 0.5)]
+            )
+
+
+class TestUReachGraph:
+    def make_ureach(self, network, probability):
+        contacts = [UncertainContact(c, probability) for c in network.contacts]
+        return UReachGraph(UncertainContactNetwork(network, contacts))
+
+    def test_best_path_probability_multiplies_along_the_path(self, figure1_network):
+        ureach = self.make_ureach(figure1_network, 0.5)
+        # o1 -> o4 during [0, 1] needs two contacts: probability 0.25.
+        probability, _ = ureach.best_path_probability(1, 4, TimeInterval(0, 1))
+        assert probability == pytest.approx(0.25)
+
+    def test_unreachable_pair_has_zero_probability(self, figure1_network):
+        ureach = self.make_ureach(figure1_network, 0.9)
+        probability, _ = ureach.best_path_probability(4, 1, TimeInterval(0, 1))
+        assert probability == 0.0
+
+    def test_source_equals_destination_is_certain(self, figure1_network):
+        ureach = self.make_ureach(figure1_network, 0.3)
+        probability, _ = ureach.best_path_probability(2, 2, TimeInterval(0, 3))
+        assert probability == 1.0
+
+    def test_threshold_query_semantics(self, figure1_network):
+        ureach = self.make_ureach(figure1_network, 0.5)
+        q = query(1, 4, 0, 1)
+        assert ureach.evaluate(q, threshold=0.2).reachable
+        assert not ureach.evaluate(q, threshold=0.3).reachable
+
+    def test_certain_contacts_reduce_to_plain_reachability(self, figure1_network):
+        from repro.baselines import evaluate_reachability
+
+        ureach = self.make_ureach(figure1_network, 1.0)
+        for source in (1, 2, 3, 4):
+            for destination in (1, 2, 3, 4):
+                q = query(source, destination, 0, 3)
+                expected = evaluate_reachability(figure1_network, q).reachable
+                assert ureach.evaluate(q, threshold=1.0).reachable == expected
+
+    def test_invalid_threshold_rejected(self, figure1_network):
+        ureach = self.make_ureach(figure1_network, 0.5)
+        with pytest.raises(QueryError):
+            ureach.evaluate(query(1, 2, 0, 1), threshold=0.0)
+
+    def test_interval_outside_horizon_rejected(self, figure1_network):
+        ureach = self.make_ureach(figure1_network, 0.5)
+        with pytest.raises(QueryError):
+            ureach.best_path_probability(1, 2, TimeInterval(100, 110))
+
+
+class TestNonImmediateContacts:
+    @pytest.fixture()
+    def bus_stop_dataset(self):
+        """o0 visits a location and leaves; o1 arrives there two ticks later.
+
+        The two objects are never within the threshold at the same instant, so
+        only non-immediate contacts can connect them.
+        """
+        far = 1_000.0
+        o0 = [Point(0, 0), Point(0, 0), Point(far, far), Point(far, far), Point(far, far)]
+        o1 = [Point(far, 0), Point(far, 0), Point(far, 0), Point(1, 1), Point(1, 1)]
+        return TrajectoryDataset(
+            [Trajectory(0, o0), Trajectory(1, o1)],
+            environment_size=(2_000.0, 2_000.0),
+            name="bus-stop",
+        )
+
+    def test_contact_validation(self):
+        with pytest.raises(ContactNetworkError):
+            NonImmediateContact(1, 1, 0, 2)
+        with pytest.raises(ContactNetworkError):
+            NonImmediateContact(0, 1, 5, 2)
+        contact = NonImmediateContact(0, 1, 2, 4)
+        assert contact.validity == TimeInterval(2, 4)
+
+    def test_no_contacts_with_zero_lifetime(self, bus_stop_dataset):
+        contacts = build_non_immediate_contacts(
+            bus_stop_dataset, distance_threshold=10.0, lifetime=0
+        )
+        assert contacts == []
+
+    def test_delayed_contact_found_with_sufficient_lifetime(self, bus_stop_dataset):
+        contacts = build_non_immediate_contacts(
+            bus_stop_dataset, distance_threshold=10.0, lifetime=3
+        )
+        directed = {(c.carrier, c.receiver, c.emit_time, c.receive_time) for c in contacts}
+        # o0 is at (0,0) during ticks 0-1; o1 arrives nearby at tick 3.
+        assert (0, 1, 1, 3) in directed
+        # The item cannot travel backwards in time.
+        assert all(c.emit_time <= c.receive_time for c in contacts)
+
+    def test_lifetime_bounds_the_delay(self, bus_stop_dataset):
+        contacts = build_non_immediate_contacts(
+            bus_stop_dataset, distance_threshold=10.0, lifetime=1
+        )
+        assert all(c.receive_time - c.emit_time <= 1 for c in contacts)
+        # o0 leaves at tick 2 and o1 arrives at tick 3, so with lifetime 1 the
+        # only possible transfer is from the tick-2 position, which is far away.
+        assert not any(c.carrier == 0 and c.receiver == 1 for c in contacts)
+
+    def test_reachability_through_delayed_contact(self, bus_stop_dataset):
+        contacts = build_non_immediate_contacts(
+            bus_stop_dataset, distance_threshold=10.0, lifetime=3
+        )
+        evaluator = NonImmediateReachability(bus_stop_dataset, contacts)
+        result = evaluator.evaluate(query(0, 1, 0, 4))
+        assert result.reachable
+        assert result.earliest_time == 3
+        # The reverse direction never happens: o1's positions are never
+        # revisited by o0 within the lifetime.
+        assert not evaluator.evaluate(query(1, 0, 0, 4)).reachable
+
+    def test_reachability_respects_query_interval(self, bus_stop_dataset):
+        contacts = build_non_immediate_contacts(
+            bus_stop_dataset, distance_threshold=10.0, lifetime=3
+        )
+        evaluator = NonImmediateReachability(bus_stop_dataset, contacts)
+        # The transfer requires o0's tick-0/1 position; a query starting at
+        # tick 2 must not use it.
+        assert not evaluator.evaluate(query(0, 1, 2, 4)).reachable
+
+    def test_source_equals_destination(self, bus_stop_dataset):
+        evaluator = NonImmediateReachability(bus_stop_dataset, [])
+        assert evaluator.evaluate(query(1, 1, 0, 4)).reachable
+
+    def test_invalid_parameters_rejected(self, bus_stop_dataset):
+        with pytest.raises(ContactNetworkError):
+            build_non_immediate_contacts(bus_stop_dataset, distance_threshold=0, lifetime=1)
+        with pytest.raises(ContactNetworkError):
+            build_non_immediate_contacts(bus_stop_dataset, distance_threshold=10, lifetime=-1)
+
+    def test_immediate_contacts_are_a_subset(self, figure1_dataset, figure1_network):
+        """With lifetime 0 the directed non-immediate contacts are exactly the
+        instantaneous (same-tick) proximity events of the ordinary network."""
+        contacts = build_non_immediate_contacts(
+            figure1_dataset, distance_threshold=10.0, lifetime=0
+        )
+        undirected = {(min(c.carrier, c.receiver), max(c.carrier, c.receiver), c.emit_time) for c in contacts}
+        expected = set()
+        for contact in figure1_network:
+            for t in contact.validity.instants():
+                expected.add((contact.first, contact.second, t))
+        assert undirected == expected

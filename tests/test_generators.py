@@ -1,0 +1,158 @@
+"""Unit tests for the trajectory generators (RWP, road network, sparse GPS)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import DatasetError
+from repro.generators import (
+    RandomWaypointGenerator,
+    RoadNetwork,
+    RoadNetworkGenerator,
+    SparseGpsTraceGenerator,
+)
+
+
+class TestRandomWaypointGenerator:
+    def test_dataset_dimensions(self):
+        dataset = RandomWaypointGenerator(10, 50, environment_size=(500, 500), seed=1).generate()
+        assert dataset.num_objects == 10
+        assert dataset.num_instants == 50
+
+    def test_positions_stay_inside_environment(self):
+        dataset = RandomWaypointGenerator(8, 80, environment_size=(300, 200), seed=2).generate()
+        for trajectory in dataset:
+            for sample in trajectory.samples():
+                assert 0 <= sample.position.x <= 300
+                assert 0 <= sample.position.y <= 200
+
+    def test_determinism_with_same_seed(self):
+        first = RandomWaypointGenerator(5, 30, environment_size=(400, 400), seed=9).generate()
+        second = RandomWaypointGenerator(5, 30, environment_size=(400, 400), seed=9).generate()
+        for object_id in first.object_ids:
+            assert [s.position for s in first.trajectory(object_id).samples()] == [
+                s.position for s in second.trajectory(object_id).samples()
+            ]
+
+    def test_different_seeds_differ(self):
+        first = RandomWaypointGenerator(5, 30, environment_size=(400, 400), seed=1).generate()
+        second = RandomWaypointGenerator(5, 30, environment_size=(400, 400), seed=2).generate()
+        assert any(
+            first.trajectory(i).position_at(10) != second.trajectory(i).position_at(10)
+            for i in first.object_ids
+        )
+
+    def test_step_length_bounded_by_speed(self):
+        speed_range = (1.0, 3.0)
+        period = 6.0
+        dataset = RandomWaypointGenerator(
+            5, 60, environment_size=(500, 500), speed_range=speed_range,
+            sampling_period=period, seed=3,
+        ).generate()
+        max_step = speed_range[1] * period + 1e-6
+        for trajectory in dataset:
+            previous = None
+            for sample in trajectory.samples():
+                if previous is not None:
+                    step = previous.distance_to(sample.position)
+                    assert step <= max_step
+                previous = sample.position
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_objects": 0},
+            {"horizon": 0},
+            {"environment_size": (0, 100)},
+            {"speed_range": (0.0, 2.0)},
+            {"speed_range": (3.0, 1.0)},
+            {"sampling_period": 0},
+            {"pause_range": (2, 1)},
+        ],
+    )
+    def test_rejects_invalid_parameters(self, kwargs):
+        defaults = dict(num_objects=5, horizon=10, environment_size=(100.0, 100.0))
+        defaults.update(kwargs)
+        with pytest.raises(DatasetError):
+            RandomWaypointGenerator(**defaults)
+
+
+class TestRoadNetwork:
+    def test_network_is_connected(self):
+        network = RoadNetwork((1000.0, 1000.0), rows=4, cols=4, seed=3)
+        # A path must exist between every pair of corner intersections.
+        path = network.shortest_path(0, network.num_nodes - 1)
+        assert path[0] == 0 and path[-1] == network.num_nodes - 1
+        assert len(path) >= 2
+
+    def test_shortest_path_to_self(self):
+        network = RoadNetwork((1000.0, 1000.0), seed=3)
+        assert network.shortest_path(5, 5) == [5]
+
+    def test_nodes_confined_to_coverage_region(self):
+        network = RoadNetwork((1000.0, 1000.0), coverage=0.5, seed=1)
+        # Grid anchors lie in the lower-left half; jitter is bounded by 20% of
+        # one grid cell, so no node strays far beyond 50% of the environment.
+        for node in network.nodes:
+            assert node.x <= 1000.0 * 0.5 + 100.0
+            assert node.y <= 1000.0 * 0.5 + 100.0
+
+    def test_rejects_degenerate_grid(self):
+        with pytest.raises(DatasetError):
+            RoadNetwork((100.0, 100.0), rows=1, cols=5)
+
+    def test_edge_between_unknown_pair_raises(self):
+        network = RoadNetwork((1000.0, 1000.0), rows=4, cols=4, seed=3)
+        with pytest.raises(DatasetError):
+            network.edge_between(0, network.num_nodes - 1)
+
+
+class TestRoadNetworkGenerator:
+    def test_vehicles_stay_near_the_road_network(self):
+        generator = RoadNetworkGenerator(6, 60, environment_size=(5000.0, 5000.0), seed=4)
+        dataset = generator.generate()
+        # Every sampled position lies on a road segment, i.e. within the
+        # coverage region of the network (plus jitter slack).
+        for trajectory in dataset:
+            for sample in trajectory.samples():
+                assert sample.position.x <= 5000.0 * 0.5 + 300.0
+                assert sample.position.y <= 5000.0 * 0.5 + 300.0
+
+    def test_deterministic_given_seed(self):
+        a = RoadNetworkGenerator(4, 40, environment_size=(4000.0, 4000.0), seed=5).generate()
+        b = RoadNetworkGenerator(4, 40, environment_size=(4000.0, 4000.0), seed=5).generate()
+        assert a.trajectory(2).position_at(20) == b.trajectory(2).position_at(20)
+
+    def test_rejects_non_positive_sampling_period(self):
+        with pytest.raises(DatasetError):
+            RoadNetworkGenerator(4, 40, sampling_period=0)
+
+
+class TestSparseGpsTraceGenerator:
+    def test_output_is_dense_despite_sparse_recording(self):
+        generator = SparseGpsTraceGenerator(
+            5, 60, environment_size=(5000.0, 5000.0), recording_interval=10, seed=6
+        )
+        dataset = generator.generate()
+        assert dataset.num_instants == 60
+        assert dataset.num_objects == 5
+
+    def test_interpolated_positions_move_continuously(self):
+        generator = SparseGpsTraceGenerator(
+            4, 50, environment_size=(5000.0, 5000.0), recording_interval=10, seed=6
+        )
+        dataset = generator.generate()
+        # Between recorded fixes the interpolation is linear, so per-tick
+        # displacement within one recording window is constant.
+        trajectory = dataset.trajectory(0)
+        steps = [
+            trajectory.position_at(t).distance_to(trajectory.position_at(t + 1))
+            for t in range(1, 8)
+        ]
+        assert all(step == pytest.approx(steps[0], abs=1e-6) for step in steps)
+
+    def test_rejects_non_positive_recording_interval(self):
+        with pytest.raises(DatasetError):
+            SparseGpsTraceGenerator(4, 40, recording_interval=0)

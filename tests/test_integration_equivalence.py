@@ -1,0 +1,123 @@
+"""Cross-method integration tests.
+
+Every disk-resident index and every baseline must return exactly the same
+reachability verdict as the in-memory reference evaluator, on both movement
+families (random-waypoint individuals and road-network vehicles).  This is the
+strongest end-to-end guarantee of the reproduction: whatever their cost
+profiles, ReachGrid, ReachGraph (all traversal strategies), SPJ, and GRAIL are
+answering the same question correctly.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines import GrailIndex, SpjBaseline, evaluate_reachability
+from repro.core import ContactConfig, ReachabilityQuery, ReachGraphConfig, ReachGridConfig, TimeInterval
+from repro.reachgraph import ReachGraphIndex, ReachGraphQueryProcessor, reduce_contact_network
+from repro.reachgrid import ReachGridIndex, ReachGridQueryProcessor
+from repro.trajectory import TrajectoryStore
+
+
+def make_queries(network, count, seed):
+    rng = random.Random(seed)
+    horizon = network.horizon
+    queries = []
+    for _ in range(count):
+        source, destination = rng.sample(network.object_ids, 2)
+        start = rng.randint(horizon.start, max(horizon.start, horizon.end - 10))
+        end = min(start + rng.randint(5, horizon.length), horizon.end)
+        queries.append(ReachabilityQuery(source, destination, TimeInterval(start, end)))
+    return queries
+
+
+@pytest.fixture(scope="module")
+def vn_methods(vn_tiny_dataset, vn_tiny_network):
+    """Every query-evaluation method built over the road-network dataset."""
+    contact_config = ContactConfig(distance_threshold=300.0)
+    grid = ReachGridIndex(
+        vn_tiny_dataset,
+        ReachGridConfig(temporal_resolution=10, spatial_resolution=1500.0),
+        contact_config,
+    ).build()
+    graph = ReachGraphIndex(
+        vn_tiny_dataset,
+        ReachGraphConfig(resolutions=(2, 4, 8), partition_depth=8),
+        contact_config,
+        contact_network=vn_tiny_network,
+    ).build()
+    graph_processor = ReachGraphQueryProcessor(graph)
+    store = TrajectoryStore(vn_tiny_dataset).build()
+    spj = SpjBaseline(store, 300.0)
+    dag, _ = reduce_contact_network(vn_tiny_network)
+    grail = GrailIndex(dag).build()
+    return {
+        "reachgrid": ReachGridQueryProcessor(grid).evaluate,
+        "bm-bfs": lambda q: graph_processor.evaluate(q, strategy="bm-bfs"),
+        "b-bfs": lambda q: graph_processor.evaluate(q, strategy="b-bfs"),
+        "e-dfs": lambda q: graph_processor.evaluate(q, strategy="e-dfs"),
+        "spj": spj.evaluate,
+        "grail-memory": grail.evaluate_memory,
+        "grail-disk": grail.evaluate_disk,
+    }
+
+
+class TestAllMethodsAgreeOnVehicleData:
+    def test_verdicts_match_reference(self, vn_methods, vn_tiny_network):
+        queries = make_queries(vn_tiny_network, 25, seed=101)
+        disagreements = []
+        for query in queries:
+            expected = evaluate_reachability(vn_tiny_network, query).reachable
+            for name, evaluate in vn_methods.items():
+                if evaluate(query).reachable != expected:
+                    disagreements.append((name, query))
+        assert not disagreements
+
+    def test_reachability_is_monotone_in_interval(self, vn_methods, vn_tiny_network):
+        """Extending the query interval can only turn 'not reachable' into
+        'reachable', never the other way (for every method)."""
+        horizon = vn_tiny_network.horizon
+        rng = random.Random(7)
+        for _ in range(10):
+            source, destination = rng.sample(vn_tiny_network.object_ids, 2)
+            short = ReachabilityQuery(
+                source, destination, TimeInterval(horizon.start, horizon.start + 30)
+            )
+            longer = ReachabilityQuery(
+                source, destination, TimeInterval(horizon.start, horizon.end)
+            )
+            for name, evaluate in vn_methods.items():
+                if evaluate(short).reachable:
+                    assert evaluate(longer).reachable, name
+
+
+class TestAllMethodsAgreeOnIndividualData:
+    def test_verdicts_match_reference(
+        self, tiny_reachgrid, tiny_reachgraph, tiny_store, tiny_network
+    ):
+        grid_processor = ReachGridQueryProcessor(tiny_reachgrid)
+        graph_processor = ReachGraphQueryProcessor(tiny_reachgraph)
+        spj = SpjBaseline(tiny_store, tiny_network.distance_threshold)
+        queries = make_queries(tiny_network, 25, seed=202)
+        for query in queries:
+            expected = evaluate_reachability(tiny_network, query).reachable
+            assert grid_processor.evaluate(query).reachable == expected
+            assert graph_processor.evaluate(query, strategy="bm-bfs").reachable == expected
+            assert graph_processor.evaluate(query, strategy="e-dfs").reachable == expected
+            assert spj.evaluate(query).reachable == expected
+
+    def test_earliest_times_agree_between_grid_and_spj(
+        self, tiny_reachgrid, tiny_store, tiny_network
+    ):
+        """Both methods compute the earliest reach time exactly, so on
+        reachable queries they must agree with the reference evaluator."""
+        grid_processor = ReachGridQueryProcessor(tiny_reachgrid)
+        spj = SpjBaseline(tiny_store, tiny_network.distance_threshold)
+        for query in make_queries(tiny_network, 20, seed=303):
+            expected = evaluate_reachability(tiny_network, query)
+            if not expected.reachable:
+                continue
+            assert grid_processor.evaluate(query).earliest_time == expected.earliest_time
+            assert spj.evaluate(query).earliest_time == expected.earliest_time

@@ -1,0 +1,224 @@
+"""Unit tests for ReachGraph construction: reduction, augmentation, partitioning.
+
+The Figure 1 scenario gives paper-stated ground truth for the reduction
+(Figures 4 and 5): the per-snapshot components, the component that persists
+over [2, 3] (the paper's merged c5/c7), and the resulting vertex count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import IndexConstructionError, TimeInterval
+from repro.reachgraph import (
+    ContactDag,
+    LongEdgeLayer,
+    augment_dag,
+    build_layer,
+    partition_hypergraph,
+    reduce_contact_network,
+)
+from repro.reachgraph.dag import HyperGraph
+
+
+class TestReductionOnFigure1:
+    def test_vertex_count_matches_figure5(self, figure1_dag):
+        # Components per snapshot: t0 -> {1,2},{3},{4}; t1 -> {1},{2,3,4};
+        # t2 -> {1,2},{3,4}; t3 -> {1,2},{3},{4}.  The {1,2} component of t2
+        # persists through t3 (the paper's merged c5/c7), giving 9 vertices.
+        assert figure1_dag.num_nodes == 9
+
+    def test_merged_component_spans_two_instants(self, figure1_dag):
+        spans = {
+            (node.interval.start, node.interval.end, node.members)
+            for node in figure1_dag
+        }
+        assert (2, 3, frozenset({1, 2})) in spans
+
+    def test_every_object_has_a_component_at_every_instant(self, figure1_dag, figure1_network):
+        for t in figure1_network.horizon.instants():
+            for object_id in figure1_network.object_ids:
+                node_id = figure1_dag.node_of(object_id, t)
+                node = figure1_dag.node(node_id)
+                assert node.active_at(t)
+                assert object_id in node.members
+
+    def test_components_partition_objects_at_each_instant(self, figure1_dag, figure1_network):
+        for t in figure1_network.horizon.instants():
+            members = [
+                node.members for node in figure1_dag.nodes_active_at(t)
+            ]
+            flattened = [obj for group in members for obj in group]
+            assert sorted(flattened) == sorted(figure1_network.object_ids)
+
+    def test_edges_connect_components_sharing_an_object(self, figure1_dag):
+        for source_id, targets in figure1_dag.forward.items():
+            source = figure1_dag.node(source_id)
+            for target_id in targets:
+                target = figure1_dag.node(target_id)
+                assert source.members & target.members, "DN edge without shared object"
+                assert source.interval.end < target.interval.start
+
+    def test_edges_are_topologically_ordered(self, figure1_dag):
+        for source_id, targets in figure1_dag.forward.items():
+            assert all(source_id < target_id for target_id in targets)
+
+    def test_reduction_report_ratios(self, figure1_network):
+        _, report = reduce_contact_network(figure1_network)
+        assert report.ten_vertices == 16
+        assert report.dag_vertices == 9
+        assert 0 < report.vertex_reduction < 1
+        assert 0 < report.edge_reduction < 1
+
+    def test_windowed_reduction(self, figure1_network):
+        dag, report = reduce_contact_network(
+            figure1_network, window=TimeInterval(0, 1)
+        )
+        assert dag.horizon == TimeInterval(0, 1)
+        # t0: {1,2},{3},{4}; t1: {1},{2,3,4} -> 5 vertices.
+        assert dag.num_nodes == 5
+        assert report.ten_vertices == 8
+
+    def test_reduction_shrinks_generated_networks(self, tiny_network):
+        _, report = reduce_contact_network(tiny_network)
+        assert report.dag_vertices < report.ten_vertices
+        assert report.dag_edges < report.ten_edges
+        assert report.vertex_reduction > 0.3
+
+
+class TestContactDagPrimitives:
+    def test_extend_node_cannot_shrink(self):
+        dag = ContactDag(TimeInterval(0, 5), num_objects=2)
+        node = dag.add_node(TimeInterval(0, 2), frozenset({0, 1}))
+        with pytest.raises(IndexConstructionError):
+            dag.extend_node(node.node_id, 1)
+
+    def test_add_edge_deduplicates(self):
+        dag = ContactDag(TimeInterval(0, 5), num_objects=2)
+        a = dag.add_node(TimeInterval(0, 0), frozenset({0}))
+        b = dag.add_node(TimeInterval(1, 1), frozenset({0, 1}))
+        dag.add_edge(a.node_id, b.node_id)
+        dag.add_edge(a.node_id, b.node_id)
+        assert dag.successors(a.node_id) == [b.node_id]
+        assert dag.predecessors(b.node_id) == [a.node_id]
+        assert dag.num_edges == 1
+
+    def test_node_of_unknown_object_raises(self):
+        dag = ContactDag(TimeInterval(0, 5), num_objects=1)
+        dag.add_node(TimeInterval(0, 5), frozenset({0}))
+        with pytest.raises(IndexConstructionError):
+            dag.node_of(99, 0)
+
+    def test_node_of_time_without_assignment_raises(self):
+        dag = ContactDag(TimeInterval(0, 5), num_objects=1)
+        dag.add_node(TimeInterval(2, 5), frozenset({0}))
+        with pytest.raises(IndexConstructionError):
+            dag.node_of(0, 0)
+
+
+class TestAugmentation:
+    def test_long_edges_connect_reachable_boundary_components(self, figure1_dag):
+        layer = build_layer(figure1_dag, resolution=2)
+        # o1's component at t=0 ({1,2}) reaches o4's component at t=2 ({3,4})
+        # via o2 -> o4 (t=1) -> {3,4} (t=2): a long edge must exist.
+        source = figure1_dag.node_of(1, 0)
+        target = figure1_dag.node_of(4, 2)
+        assert target in layer.successors(source)
+
+    def test_long_edges_are_sound_wrt_reference_reachability(self, figure1_dag, figure1_network):
+        from repro.baselines import evaluate_reachability
+        from repro.core import ReachabilityQuery
+
+        layer = build_layer(figure1_dag, resolution=2)
+        # Every long edge must correspond to genuine object-level reachability
+        # within the window it spans.
+        for source_id, targets in layer.forward.items():
+            source = figure1_dag.node(source_id)
+            for target_id in targets:
+                target = figure1_dag.node(target_id)
+                window = TimeInterval(0, 2)
+                assert any(
+                    evaluate_reachability(
+                        figure1_network, ReachabilityQuery(a, b, window)
+                    ).reachable
+                    for a in source.members
+                    for b in target.members
+                ), (source, target)
+
+    def test_long_edge_endpoints_are_l_apart(self, tiny_network):
+        dag, _ = reduce_contact_network(tiny_network)
+        layer = build_layer(dag, resolution=8)
+        for source_id, targets in layer.forward.items():
+            source = dag.node(source_id)
+            for target_id in targets:
+                target = dag.node(target_id)
+                # Source is active at some boundary ta and target at ta + 8.
+                boundaries = [
+                    ta
+                    for ta in range(dag.horizon.start, dag.horizon.end - 7, 8)
+                    if source.active_at(ta) and target.active_at(ta + 8)
+                ]
+                assert boundaries, (source.interval, target.interval)
+
+    def test_augment_dag_builds_every_requested_resolution(self, tiny_network):
+        dag, _ = reduce_contact_network(tiny_network)
+        hypergraph, report = augment_dag(dag, (2, 4, 8))
+        assert hypergraph.resolutions == [2, 4, 8]
+        assert set(report.long_edges_per_resolution) == {2, 4, 8}
+        assert report.total_long_edges == hypergraph.num_long_edges
+
+    def test_average_degree_grows_with_resolution(self, tiny_network):
+        # Table 4's trend: over longer windows, objects reach more objects.
+        dag, _ = reduce_contact_network(tiny_network)
+        _, report = augment_dag(dag, (2, 16))
+        assert (
+            report.average_degree_per_resolution[16]
+            >= report.average_degree_per_resolution[2]
+        )
+
+    def test_duplicate_layer_rejected(self, figure1_dag):
+        layer = LongEdgeLayer(2)
+        hypergraph = HyperGraph(figure1_dag, [layer])
+        with pytest.raises(IndexConstructionError):
+            hypergraph.add_layer(LongEdgeLayer(2))
+
+
+class TestPartitioning:
+    def test_every_vertex_is_assigned_exactly_once(self, tiny_network):
+        dag, _ = reduce_contact_network(tiny_network)
+        hypergraph, _ = augment_dag(dag, (2, 4))
+        partitioning = partition_hypergraph(hypergraph, depth=4)
+        assert set(partitioning.partition_of) == set(range(dag.num_nodes))
+        counted = sum(len(members) for members in partitioning.members)
+        assert counted == dag.num_nodes
+
+    def test_partition_members_are_reachable_from_their_root(self, tiny_network):
+        dag, _ = reduce_contact_network(tiny_network)
+        hypergraph, _ = augment_dag(dag, ())
+        partitioning = partition_hypergraph(hypergraph, depth=3)
+        for members in partitioning.members:
+            root = members[0]
+            # BFS from the root within depth 3 must cover every member.
+            frontier = {root}
+            covered = {root}
+            for _ in range(3):
+                frontier = {
+                    successor
+                    for node in frontier
+                    for successor in dag.successors(node)
+                }
+                covered |= frontier
+            assert set(members) <= covered
+
+    def test_depth_one_gives_more_partitions_than_depth_sixteen(self, tiny_network):
+        dag, _ = reduce_contact_network(tiny_network)
+        hypergraph, _ = augment_dag(dag, ())
+        shallow = partition_hypergraph(hypergraph, depth=1)
+        deep = partition_hypergraph(hypergraph, depth=16)
+        assert shallow.num_partitions >= deep.num_partitions
+        assert shallow.average_partition_size() <= deep.average_partition_size()
+
+    def test_partition_sizes_sum_to_vertex_count(self, figure1_dag):
+        hypergraph, _ = augment_dag(figure1_dag, (2,))
+        partitioning = partition_hypergraph(hypergraph, depth=2)
+        assert sum(partitioning.partition_sizes()) == figure1_dag.num_nodes

@@ -1,0 +1,230 @@
+"""Unit and integration tests for ReachGrid: geometry, index, query processing."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines import evaluate_reachability
+from repro.core import (
+    ConfigurationError,
+    ContactConfig,
+    IndexConstructionError,
+    IndexNotBuiltError,
+    Point,
+    QueryError,
+    ReachabilityQuery,
+    ReachGridConfig,
+    TimeInterval,
+    UnknownObjectError,
+)
+from repro.reachgrid import GridGeometry, ReachGridIndex, ReachGridQueryProcessor
+from repro.trajectory.mbr import MBR
+
+
+class TestGridGeometry:
+    @pytest.fixture()
+    def geometry(self):
+        return GridGeometry(
+            horizon=TimeInterval(0, 99),
+            environment_size=(1000.0, 500.0),
+            config=ReachGridConfig(temporal_resolution=20, spatial_resolution=100.0),
+        )
+
+    def test_temporal_partitioning(self, geometry):
+        assert geometry.num_temporal_intervals == 5
+        assert geometry.temporal_index(0) == 0
+        assert geometry.temporal_index(19) == 0
+        assert geometry.temporal_index(20) == 1
+        assert geometry.temporal_interval(0) == TimeInterval(0, 19)
+        assert geometry.temporal_interval(4) == TimeInterval(80, 99)
+
+    def test_last_temporal_interval_is_clipped(self):
+        geometry = GridGeometry(
+            horizon=TimeInterval(0, 49),
+            environment_size=(100.0, 100.0),
+            config=ReachGridConfig(temporal_resolution=20, spatial_resolution=50.0),
+        )
+        assert geometry.num_temporal_intervals == 3
+        assert geometry.temporal_interval(2) == TimeInterval(40, 49)
+
+    def test_temporal_index_outside_horizon_raises(self, geometry):
+        with pytest.raises(ConfigurationError):
+            geometry.temporal_index(100)
+
+    def test_temporal_interval_out_of_range_raises(self, geometry):
+        with pytest.raises(ConfigurationError):
+            geometry.temporal_interval(5)
+
+    def test_temporal_indices_overlapping(self, geometry):
+        assert geometry.temporal_indices_overlapping(TimeInterval(15, 45)) == [0, 1, 2]
+        assert geometry.temporal_indices_overlapping(TimeInterval(200, 300)) == []
+
+    def test_spatial_grid_dimensions(self, geometry):
+        assert geometry.num_columns == 10
+        assert geometry.num_rows == 5
+        assert geometry.num_spatial_cells == 50
+
+    def test_spatial_cell_assignment_and_clamping(self, geometry):
+        assert geometry.spatial_cell(Point(50, 50)) == (0, 0)
+        assert geometry.spatial_cell(Point(950, 450)) == (9, 4)
+        # Outside positions are clamped to the border cells.
+        assert geometry.spatial_cell(Point(-5, 5000)) == (0, 4)
+
+    def test_cell_key_combines_time_and_space(self, geometry):
+        assert geometry.cell_key(25, Point(150, 250)) == (1, 1, 2)
+
+    def test_cell_bounds(self, geometry):
+        bounds = geometry.cell_bounds(2, 3)
+        assert (bounds.min_x, bounds.min_y, bounds.max_x, bounds.max_y) == (
+            200.0,
+            300.0,
+            300.0,
+            400.0,
+        )
+
+    def test_cells_intersecting_rectangle(self, geometry):
+        rect = MBR(90.0, 0.0, 210.0, 90.0)
+        keys = set(geometry.cells_intersecting(rect, temporal_index=3))
+        assert keys == {(3, 0, 0), (3, 1, 0), (3, 2, 0)}
+
+    def test_rejects_non_positive_environment(self):
+        with pytest.raises(ConfigurationError):
+            GridGeometry(TimeInterval(0, 9), (0.0, 10.0), ReachGridConfig())
+
+
+class TestReachGridIndex:
+    def test_build_reports_statistics(self, tiny_reachgrid):
+        report = tiny_reachgrid.build_report
+        assert report is not None
+        assert report.num_cells == tiny_reachgrid.num_cells
+        assert report.num_records == tiny_reachgrid.dataset.num_objects * tiny_reachgrid.dataset.num_instants
+        assert report.build_seconds >= 0
+        assert tiny_reachgrid.num_blocks > 0
+
+    def test_double_build_rejected(self, tiny_reachgrid):
+        with pytest.raises(IndexConstructionError):
+            tiny_reachgrid.build()
+
+    def test_unbuilt_index_refuses_queries(self, tiny_dataset, tiny_contact_config):
+        index = ReachGridIndex(tiny_dataset, contact_config=tiny_contact_config)
+        with pytest.raises(IndexNotBuiltError):
+            index.read_cell((0, 0, 0))
+        with pytest.raises(QueryError):
+            ReachGridQueryProcessor(index)
+
+    def test_cell_records_are_sorted_by_time(self, tiny_reachgrid):
+        key = tiny_reachgrid._cells_file.extent_keys()[0]
+        records = tiny_reachgrid.read_cell(key)
+        times = [record[1] for record in records]
+        assert times == sorted(times)
+
+    def test_cells_are_placed_time_major_on_disk(self, tiny_reachgrid):
+        keys = tiny_reachgrid._cells_file.extent_keys()
+        temporal_indices = [key[0] for key in keys]
+        assert temporal_indices == sorted(temporal_indices)
+
+    def test_every_sample_is_in_exactly_one_cell(self, tiny_reachgrid, tiny_dataset):
+        total = sum(
+            len(tiny_reachgrid.read_cell(key))
+            for key in tiny_reachgrid._cells_file.extent_keys()
+        )
+        assert total == tiny_dataset.num_objects * tiny_dataset.num_instants
+
+    def test_cells_of_object_locates_the_object(self, tiny_reachgrid, tiny_dataset):
+        object_id = tiny_dataset.object_ids[0]
+        geometry = tiny_reachgrid.geometry
+        cells = tiny_reachgrid.cells_of_object(object_id, 0)
+        assert cells, "the object must occupy at least one cell in interval 0"
+        expected = geometry.cell_key(0, tiny_dataset.trajectory(object_id).position_at(0))
+        assert expected[1:] in [tuple(cell) for cell in cells]
+
+    def test_cells_of_unknown_object_is_empty(self, tiny_reachgrid):
+        assert tiny_reachgrid.cells_of_object(10_000, 0) == []
+
+
+class TestReachGridQueryProcessing:
+    def test_figure1_ground_truth(self, figure1_dataset):
+        config = ReachGridConfig(temporal_resolution=2, spatial_resolution=25.0)
+        index = ReachGridIndex(
+            figure1_dataset, config, ContactConfig(distance_threshold=10.0)
+        ).build()
+        processor = ReachGridQueryProcessor(index)
+        assert processor.evaluate(
+            ReachabilityQuery(1, 4, TimeInterval(0, 1))
+        ).reachable
+        assert not processor.evaluate(
+            ReachabilityQuery(4, 1, TimeInterval(0, 1))
+        ).reachable
+        assert processor.evaluate(
+            ReachabilityQuery(4, 1, TimeInterval(0, 3))
+        ).reachable
+
+    def test_matches_reference_on_random_queries(self, tiny_reachgrid, tiny_network):
+        processor = ReachGridQueryProcessor(tiny_reachgrid)
+        rng = random.Random(13)
+        horizon = tiny_network.horizon
+        for _ in range(40):
+            source, destination = rng.sample(tiny_network.object_ids, 2)
+            start = rng.randint(horizon.start, horizon.end - 20)
+            end = min(start + rng.randint(5, 60), horizon.end)
+            query = ReachabilityQuery(source, destination, TimeInterval(start, end))
+            expected = evaluate_reachability(tiny_network, query)
+            actual = processor.evaluate(query)
+            assert actual.reachable == expected.reachable, query
+            if expected.reachable:
+                assert actual.earliest_time == expected.earliest_time, query
+
+    def test_query_charges_io(self, tiny_reachgrid, tiny_network):
+        processor = ReachGridQueryProcessor(tiny_reachgrid)
+        objects = tiny_network.object_ids
+        result = processor.evaluate(
+            ReachabilityQuery(objects[0], objects[-1], TimeInterval(0, 60))
+        )
+        assert result.io > 0
+        assert result.visited > 0
+        assert result.cpu_seconds >= 0
+
+    def test_source_equals_destination_costs_nothing(self, tiny_reachgrid):
+        processor = ReachGridQueryProcessor(tiny_reachgrid)
+        result = processor.evaluate(ReachabilityQuery(0, 0, TimeInterval(5, 50)))
+        assert result.reachable
+        assert result.io == 0.0
+
+    def test_unknown_objects_rejected(self, tiny_reachgrid):
+        processor = ReachGridQueryProcessor(tiny_reachgrid)
+        with pytest.raises(UnknownObjectError):
+            processor.evaluate(ReachabilityQuery(9_999, 0, TimeInterval(0, 10)))
+        with pytest.raises(UnknownObjectError):
+            processor.evaluate(ReachabilityQuery(0, 9_999, TimeInterval(0, 10)))
+
+    def test_query_outside_horizon_rejected(self, tiny_reachgrid):
+        processor = ReachGridQueryProcessor(tiny_reachgrid)
+        with pytest.raises(QueryError):
+            processor.evaluate(ReachabilityQuery(0, 1, TimeInterval(5_000, 5_100)))
+
+    def test_early_termination_reads_fewer_cells_for_adjacent_objects(
+        self, tiny_reachgrid, tiny_network
+    ):
+        """A query whose destination is met almost immediately should touch far
+        fewer cells than one that needs the whole interval."""
+        processor = ReachGridQueryProcessor(tiny_reachgrid)
+        contact = tiny_network.contacts[0]
+        easy = processor.evaluate(
+            ReachabilityQuery(
+                contact.first,
+                contact.second,
+                TimeInterval(contact.validity.start, tiny_network.horizon.end),
+            )
+        )
+        assert easy.reachable
+        # An unreachable (or late-reachable) pair over the same interval.
+        hard_io = max(
+            processor.evaluate(
+                ReachabilityQuery(contact.first, other, TimeInterval(contact.validity.start, tiny_network.horizon.end))
+            ).io
+            for other in tiny_network.object_ids[:10]
+            if other not in contact.objects
+        )
+        assert easy.io <= hard_io

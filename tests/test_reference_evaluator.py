@@ -1,0 +1,99 @@
+"""Unit tests for the reference (in-memory) reachability evaluator.
+
+The expected outcomes for the Figure 1 scenario come straight from the paper:
+"The object o4 is reachable from o1 during time interval of [0, 1] ... o1 is
+not reachable from o4 during [0, 1]."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import earliest_arrival, evaluate_reachability, reachable_set
+from repro.core import ReachabilityQuery, TimeInterval
+
+
+def query(source, destination, start, end):
+    return ReachabilityQuery(source, destination, TimeInterval(start, end))
+
+
+class TestFigure1GroundTruth:
+    def test_o4_reachable_from_o1_during_0_1(self, figure1_network):
+        result = evaluate_reachability(figure1_network, query(1, 4, 0, 1))
+        assert result.reachable
+        assert result.earliest_time == 1
+
+    def test_o1_not_reachable_from_o4_during_0_1(self, figure1_network):
+        result = evaluate_reachability(figure1_network, query(4, 1, 0, 1))
+        assert not result.reachable
+
+    def test_o1_reachable_from_o4_when_interval_extends_to_3(self, figure1_network):
+        # o4 -> o2 at t=1 (c2), o2 -> o1 at t=2 (c4).
+        result = evaluate_reachability(figure1_network, query(4, 1, 0, 3))
+        assert result.reachable
+        assert result.earliest_time == 2
+
+    def test_o3_reachable_from_o1_during_0_2(self, figure1_network):
+        # o1 -> o2 (t0), o2 -> o4 (t1), o4 -> o3 (t1).
+        result = evaluate_reachability(figure1_network, query(1, 3, 0, 2))
+        assert result.reachable
+        assert result.earliest_time == 1
+
+    def test_o3_not_reachable_from_o1_when_interval_starts_late(self, figure1_network):
+        # During [2, 3] the only contacts are c4={o1,o2} and the tail of c3;
+        # o2 never meets o3 or o4 in that window.
+        result = evaluate_reachability(figure1_network, query(1, 3, 2, 3))
+        assert not result.reachable
+
+    def test_direct_contact_is_reachable_at_contact_time(self, figure1_network):
+        result = evaluate_reachability(figure1_network, query(1, 2, 2, 3))
+        assert result.reachable
+        assert result.earliest_time == 2
+
+    def test_source_equals_destination(self, figure1_network):
+        result = evaluate_reachability(figure1_network, query(3, 3, 0, 1))
+        assert result.reachable
+        assert result.earliest_time == 0
+
+    def test_time_ordering_is_respected(self, figure1_network):
+        # o3 can only hand an item to o4 at t in [1,2]; o4 meets o2 only at
+        # t=1, so starting from o3 at time 2 the item is stuck with o4.
+        result = evaluate_reachability(figure1_network, query(3, 2, 2, 3))
+        assert not result.reachable
+
+
+class TestEarliestArrivalAndReachableSet:
+    def test_reachable_set_during_0_1(self, figure1_network):
+        # o1 -> o2 at t=0; at t=1 the snapshot component {o2, o3, o4} makes
+        # both o4 and o3 reachable (snapshot transitivity, Property 5.1).
+        assert reachable_set(figure1_network, 1, TimeInterval(0, 1)) == {1, 2, 3, 4}
+
+    def test_reachable_set_from_o4_during_0_1_excludes_o1(self, figure1_network):
+        # The paper's negative example: o1 is not reachable from o4 in [0, 1].
+        assert reachable_set(figure1_network, 4, TimeInterval(0, 1)) == {2, 3, 4}
+
+    def test_reachable_set_during_0_3_covers_everyone(self, figure1_network):
+        assert reachable_set(figure1_network, 1, TimeInterval(0, 3)) == {1, 2, 3, 4}
+
+    def test_earliest_arrival_times(self, figure1_network):
+        arrival = earliest_arrival(figure1_network.contacts, 1, TimeInterval(0, 3))
+        assert arrival[1] == 0
+        assert arrival[2] == 0  # contact at t=0
+        assert arrival[4] == 1  # via o2 at t=1
+        assert arrival[3] == 1  # o4 and o3 touch at t=1
+
+    def test_arrival_times_never_precede_interval_start(self, figure1_network):
+        arrival = earliest_arrival(figure1_network.contacts, 2, TimeInterval(1, 3))
+        assert all(t >= 1 for t in arrival.values())
+
+    def test_early_termination_with_destination(self, figure1_network):
+        arrival = earliest_arrival(
+            figure1_network.contacts, 1, TimeInterval(0, 3), destination=2
+        )
+        assert 2 in arrival
+
+    def test_monotonicity_in_interval_length(self, tiny_network):
+        # Anything reachable in a prefix interval stays reachable in a longer one.
+        short = reachable_set(tiny_network, 0, TimeInterval(0, 30))
+        longer = reachable_set(tiny_network, 0, TimeInterval(0, 80))
+        assert short <= longer

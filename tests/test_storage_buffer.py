@@ -1,0 +1,87 @@
+"""Unit tests for the LRU buffer pool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import BufferPoolError
+from repro.storage import BufferPool, SimulatedDisk
+
+
+@pytest.fixture()
+def disk_with_blocks():
+    disk = SimulatedDisk()
+    for value in range(10):
+        disk.allocate(f"payload-{value}")
+    return disk
+
+
+class TestBufferPool:
+    def test_rejects_non_positive_capacity(self, disk_with_blocks):
+        with pytest.raises(BufferPoolError):
+            BufferPool(disk_with_blocks, capacity=0)
+
+    def test_miss_then_hit(self, disk_with_blocks):
+        pool = BufferPool(disk_with_blocks, capacity=4)
+        assert pool.read(3) == "payload-3"
+        assert pool.misses == 1 and pool.hits == 0
+        assert pool.read(3) == "payload-3"
+        assert pool.hits == 1
+
+    def test_hit_does_not_charge_physical_io(self, disk_with_blocks):
+        pool = BufferPool(disk_with_blocks, capacity=4)
+        pool.read(2)
+        reads_before = disk_with_blocks.stats.total_reads
+        pool.read(2)
+        assert disk_with_blocks.stats.total_reads == reads_before
+        assert disk_with_blocks.stats.buffer_hits == 1
+
+    def test_lru_eviction_order(self, disk_with_blocks):
+        pool = BufferPool(disk_with_blocks, capacity=2)
+        pool.read(0)
+        pool.read(1)
+        pool.read(0)  # touch 0 so 1 becomes least recently used
+        pool.read(2)  # evicts 1
+        assert pool.contains(0)
+        assert not pool.contains(1)
+        assert pool.contains(2)
+
+    def test_capacity_is_never_exceeded(self, disk_with_blocks):
+        pool = BufferPool(disk_with_blocks, capacity=3)
+        for block in range(10):
+            pool.read(block)
+        assert pool.resident_blocks <= 3
+
+    def test_read_many_preserves_order(self, disk_with_blocks):
+        pool = BufferPool(disk_with_blocks, capacity=5)
+        values = pool.read_many([4, 1, 2])
+        assert values == ["payload-4", "payload-1", "payload-2"]
+
+    def test_prefetch_populates_pool(self, disk_with_blocks):
+        pool = BufferPool(disk_with_blocks, capacity=5)
+        pool.prefetch([5, 6])
+        assert pool.contains(5) and pool.contains(6)
+
+    def test_invalidate_single_and_all(self, disk_with_blocks):
+        pool = BufferPool(disk_with_blocks, capacity=5)
+        pool.read(1)
+        pool.read(2)
+        pool.invalidate(1)
+        assert not pool.contains(1) and pool.contains(2)
+        pool.invalidate()
+        assert pool.resident_blocks == 0
+
+    def test_clear_resets_counters(self, disk_with_blocks):
+        pool = BufferPool(disk_with_blocks, capacity=5)
+        pool.read(1)
+        pool.read(1)
+        pool.clear()
+        assert pool.hits == 0 and pool.misses == 0
+        assert pool.hit_ratio == 0.0
+
+    def test_hit_ratio(self, disk_with_blocks):
+        pool = BufferPool(disk_with_blocks, capacity=5)
+        pool.read(1)
+        pool.read(1)
+        pool.read(2)
+        assert pool.hit_ratio == pytest.approx(1 / 3)

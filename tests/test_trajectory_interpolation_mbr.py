@@ -1,0 +1,127 @@
+"""Unit tests for trajectory interpolation and MBR geometry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Point, TrajectoryError
+from repro.trajectory import (
+    MBR,
+    Trajectory,
+    densify_sparse_samples,
+    downsample,
+    interpolate_linear,
+    segment_mbr,
+)
+from repro.core.types import TimeInterval
+
+
+class TestInterpolation:
+    def test_linear_interpolation_endpoints_and_midpoint(self):
+        a, b = Point(0, 0), Point(10, 20)
+        assert interpolate_linear(a, b, 0.0) == a
+        assert interpolate_linear(a, b, 1.0) == b
+        mid = interpolate_linear(a, b, 0.5)
+        assert (mid.x, mid.y) == (5.0, 10.0)
+
+    def test_linear_interpolation_rejects_out_of_range_fraction(self):
+        with pytest.raises(TrajectoryError):
+            interpolate_linear(Point(0, 0), Point(1, 1), 1.5)
+
+    def test_densify_interpolates_between_sparse_fixes(self):
+        sparse = [(0, Point(0, 0)), (4, Point(8, 0))]
+        trajectory = densify_sparse_samples(1, sparse, horizon_length=5)
+        assert trajectory.position_at(2) == Point(4, 0)
+        assert trajectory.position_at(4) == Point(8, 0)
+
+    def test_densify_extends_constant_before_and_after_fixes(self):
+        sparse = [(2, Point(5, 5)), (4, Point(9, 5))]
+        trajectory = densify_sparse_samples(1, sparse, horizon_length=8)
+        assert trajectory.position_at(0) == Point(5, 5)
+        assert trajectory.position_at(7) == Point(9, 5)
+
+    def test_densify_requires_increasing_times(self):
+        with pytest.raises(TrajectoryError):
+            densify_sparse_samples(0, [(3, Point(0, 0)), (3, Point(1, 1))], 5)
+
+    def test_densify_requires_samples_and_positive_horizon(self):
+        with pytest.raises(TrajectoryError):
+            densify_sparse_samples(0, [], 5)
+        with pytest.raises(TrajectoryError):
+            densify_sparse_samples(0, [(0, Point(0, 0))], 0)
+
+    def test_downsample_keeps_every_nth_and_last(self):
+        trajectory = Trajectory(0, [Point(i, 0) for i in range(10)])
+        sparse = downsample(trajectory, every=4)
+        assert [t for t, _ in sparse] == [0, 4, 8, 9]
+
+    def test_downsample_then_densify_recovers_straight_line_exactly(self):
+        # A straight-line trajectory is recovered exactly by linear
+        # interpolation, whatever the recording rate.
+        trajectory = Trajectory(0, [Point(2.0 * i, 3.0 * i) for i in range(20)])
+        sparse = downsample(trajectory, every=6)
+        rebuilt = densify_sparse_samples(0, sparse, horizon_length=20)
+        for t in range(20):
+            assert rebuilt.position_at(t).x == pytest.approx(trajectory.position_at(t).x)
+            assert rebuilt.position_at(t).y == pytest.approx(trajectory.position_at(t).y)
+
+    def test_downsample_rejects_non_positive_rate(self):
+        trajectory = Trajectory(0, [Point(0, 0), Point(1, 1)])
+        with pytest.raises(TrajectoryError):
+            downsample(trajectory, 0)
+
+
+class TestMBR:
+    def test_from_points_is_tight(self):
+        rect = MBR.from_points([Point(1, 5), Point(4, 2), Point(3, 3)])
+        assert (rect.min_x, rect.min_y, rect.max_x, rect.max_y) == (1, 2, 4, 5)
+        assert rect.width == 3 and rect.height == 3
+        assert rect.area == 9
+
+    def test_from_points_requires_at_least_one_point(self):
+        with pytest.raises(TrajectoryError):
+            MBR.from_points([])
+
+    def test_rejects_negative_extent(self):
+        with pytest.raises(TrajectoryError):
+            MBR(5, 0, 1, 2)
+
+    def test_expanded_grows_every_side(self):
+        rect = MBR(0, 0, 2, 2).expanded(3)
+        assert (rect.min_x, rect.min_y, rect.max_x, rect.max_y) == (-3, -3, 5, 5)
+
+    def test_expanded_rejects_negative_margin(self):
+        with pytest.raises(TrajectoryError):
+            MBR(0, 0, 1, 1).expanded(-1)
+
+    def test_contains_point_boundary_inclusive(self):
+        rect = MBR(0, 0, 2, 2)
+        assert rect.contains_point(Point(0, 0))
+        assert rect.contains_point(Point(2, 2))
+        assert not rect.contains_point(Point(2.01, 1))
+
+    def test_intersection_detection(self):
+        a = MBR(0, 0, 2, 2)
+        assert a.intersects(MBR(1, 1, 3, 3))
+        assert a.intersects(MBR(2, 2, 4, 4))  # touching counts
+        assert not a.intersects(MBR(3, 3, 4, 4))
+
+    def test_union_covers_both(self):
+        union = MBR(0, 0, 1, 1).union(MBR(5, 5, 6, 7))
+        assert (union.min_x, union.min_y, union.max_x, union.max_y) == (0, 0, 6, 7)
+
+    def test_min_distance_inside_is_zero(self):
+        rect = MBR(0, 0, 4, 4)
+        assert rect.min_distance_to(Point(2, 2)) == 0.0
+        assert rect.min_distance_to(Point(7, 4)) == pytest.approx(3.0)
+        assert rect.min_distance_to(Point(7, 8)) == pytest.approx(5.0)
+
+    def test_segment_mbr_matches_samples(self):
+        trajectory = Trajectory(0, [Point(0, 0), Point(5, 1), Point(2, 8)])
+        segment = trajectory.segment(TimeInterval(0, 2))
+        rect = segment_mbr(segment)
+        assert (rect.min_x, rect.max_x, rect.min_y, rect.max_y) == (0, 5, 0, 8)
+
+    def test_segment_mbr_of_empty_segment_is_none(self):
+        trajectory = Trajectory(0, [Point(0, 0)])
+        assert segment_mbr(trajectory.segment(TimeInterval(5, 6))) is None

@@ -1,0 +1,136 @@
+"""Unit tests for trajectories, segments, and datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Point, TimeInterval, TrajectoryError, UnknownObjectError
+from repro.trajectory import Trajectory, TrajectoryDataset, TrajectorySample
+
+
+def straight_line_trajectory(object_id=0, length=10, start_time=0):
+    return Trajectory(
+        object_id,
+        [Point(float(i), 2.0 * i) for i in range(length)],
+        start_time=start_time,
+    )
+
+
+class TestTrajectory:
+    def test_rejects_empty_trajectory(self):
+        with pytest.raises(TrajectoryError):
+            Trajectory(0, [])
+
+    def test_rejects_negative_start_time(self):
+        with pytest.raises(TrajectoryError):
+            Trajectory(0, [Point(0, 0)], start_time=-1)
+
+    def test_horizon_and_length(self):
+        trajectory = straight_line_trajectory(length=5, start_time=3)
+        assert trajectory.horizon == TimeInterval(3, 7)
+        assert len(trajectory) == 5
+
+    def test_position_at_maps_tick_to_sample(self):
+        trajectory = straight_line_trajectory(length=5, start_time=3)
+        assert trajectory.position_at(3) == Point(0, 0)
+        assert trajectory.position_at(6) == Point(3, 6)
+
+    def test_position_outside_horizon_raises(self):
+        trajectory = straight_line_trajectory(length=5)
+        with pytest.raises(TrajectoryError):
+            trajectory.position_at(5)
+
+    def test_samples_are_in_time_order(self):
+        trajectory = straight_line_trajectory(length=4)
+        times = [sample.time for sample in trajectory.samples()]
+        assert times == [0, 1, 2, 3]
+
+    def test_segment_clips_to_horizon(self):
+        trajectory = straight_line_trajectory(length=5)
+        segment = trajectory.segment(TimeInterval(3, 10))
+        assert [sample.time for sample in segment] == [3, 4]
+
+    def test_segment_outside_horizon_is_empty(self):
+        trajectory = straight_line_trajectory(length=5)
+        segment = trajectory.segment(TimeInterval(20, 30))
+        assert segment.is_empty()
+        assert len(segment) == 0
+
+    def test_sample_round_trip_tuple(self):
+        sample = TrajectorySample(3, 7, Point(1.5, -2.5))
+        assert TrajectorySample.from_tuple(sample.as_tuple()) == sample
+
+
+class TestTrajectoryDataset:
+    def make_dataset(self, count=3, length=6):
+        return TrajectoryDataset(
+            [straight_line_trajectory(object_id=i, length=length) for i in range(count)],
+            environment_size=(100.0, 100.0),
+            name="unit",
+        )
+
+    def test_basic_properties(self):
+        dataset = self.make_dataset(count=4, length=6)
+        assert dataset.num_objects == 4
+        assert dataset.object_ids == [0, 1, 2, 3]
+        assert dataset.horizon == TimeInterval(0, 5)
+        assert dataset.num_instants == 6
+        assert len(dataset) == 4
+
+    def test_rejects_duplicate_object_ids(self):
+        with pytest.raises(TrajectoryError):
+            TrajectoryDataset(
+                [straight_line_trajectory(0), straight_line_trajectory(0)],
+                environment_size=(10, 10),
+            )
+
+    def test_rejects_mismatched_horizons(self):
+        with pytest.raises(TrajectoryError):
+            TrajectoryDataset(
+                [
+                    straight_line_trajectory(0, length=5),
+                    straight_line_trajectory(1, length=7),
+                ],
+                environment_size=(10, 10),
+            )
+
+    def test_rejects_empty_dataset(self):
+        with pytest.raises(TrajectoryError):
+            TrajectoryDataset([], environment_size=(10, 10))
+
+    def test_rejects_non_positive_environment(self):
+        with pytest.raises(TrajectoryError):
+            TrajectoryDataset(
+                [straight_line_trajectory(0)], environment_size=(0, 10)
+            )
+
+    def test_unknown_object_lookup_raises(self):
+        dataset = self.make_dataset()
+        with pytest.raises(UnknownObjectError):
+            dataset.trajectory(99)
+
+    def test_positions_at_returns_every_object(self):
+        dataset = self.make_dataset(count=3)
+        positions = dataset.positions_at(2)
+        assert set(positions) == {0, 1, 2}
+        assert positions[1] == Point(2, 4)
+
+    def test_segments_cover_every_object(self):
+        dataset = self.make_dataset(count=3, length=6)
+        segments = dataset.segments(TimeInterval(1, 3))
+        assert len(segments) == 3
+        assert all(len(segment) == 3 for segment in segments)
+
+    def test_restricted_truncates_horizon(self):
+        dataset = self.make_dataset(count=2, length=8)
+        shorter = dataset.restricted(3)
+        assert shorter.num_instants == 3
+        assert shorter.num_objects == 2
+        assert shorter.trajectory(1).position_at(2) == Point(2, 4)
+
+    def test_restricted_rejects_bad_lengths(self):
+        dataset = self.make_dataset(length=5)
+        with pytest.raises(TrajectoryError):
+            dataset.restricted(0)
+        with pytest.raises(TrajectoryError):
+            dataset.restricted(6)

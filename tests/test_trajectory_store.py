@@ -1,0 +1,54 @@
+"""Unit tests for the disk-backed trajectory store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import IndexNotBuiltError, TimeInterval
+from repro.trajectory import TrajectoryStore
+
+
+class TestTrajectoryStore:
+    def test_requires_build_before_reading(self, tiny_dataset):
+        store = TrajectoryStore(tiny_dataset)
+        assert not store.is_built
+        with pytest.raises(IndexNotBuiltError):
+            store.read_tick(0)
+
+    def test_read_tick_returns_every_object(self, tiny_store, tiny_dataset):
+        samples = tiny_store.read_tick(0)
+        assert {sample.object_id for sample in samples} == set(tiny_dataset.object_ids)
+        assert all(sample.time == 0 for sample in samples)
+
+    def test_read_tick_matches_dataset_positions(self, tiny_store, tiny_dataset):
+        samples = {s.object_id: s.position for s in tiny_store.read_tick(5)}
+        expected = tiny_dataset.positions_at(5)
+        assert samples == expected
+
+    def test_read_interval_streams_all_samples(self, tiny_store, tiny_dataset):
+        window = TimeInterval(3, 7)
+        samples = list(tiny_store.read_interval(window))
+        assert len(samples) == tiny_dataset.num_objects * window.length
+        assert {sample.time for sample in samples} == set(window.instants())
+
+    def test_read_interval_outside_horizon_is_empty(self, tiny_store, tiny_dataset):
+        beyond = tiny_dataset.horizon.end + 10
+        assert list(tiny_store.read_interval(TimeInterval(beyond, beyond + 5))) == []
+
+    def test_interval_read_is_mostly_sequential(self, tiny_store):
+        storage = tiny_store.storage
+        storage.reset_for_query()
+        before = storage.snapshot()
+        list(tiny_store.read_interval(TimeInterval(0, 30)))
+        delta = storage.charge_since(before)
+        assert delta.sequential_reads > delta.random_reads
+
+    def test_read_positions_at(self, tiny_store, tiny_dataset):
+        positions = tiny_store.read_positions_at(2)
+        assert set(positions) == set(tiny_dataset.object_ids)
+        object_id = tiny_dataset.object_ids[0]
+        expected = tiny_dataset.positions_at(2)[object_id]
+        assert positions[object_id] == (expected.x, expected.y)
+
+    def test_store_occupies_blocks(self, tiny_store):
+        assert tiny_store.num_blocks > 0
