@@ -1,0 +1,31 @@
+"""Benchmark: streaming ingestion vs full-rebuild querying.
+
+Replays a canned dataset through the streaming service and reports ingest
+throughput (events/sec) plus per-query IO in the two regimes the delta
+overlay creates: queries answered while the delta is live versus queries
+answered after a merge folded everything into the frozen ReachGraph.
+"""
+
+from __future__ import annotations
+
+from repro.streaming.experiment import stream_replay
+
+from conftest import run_experiment
+
+
+def test_streaming_ingest_and_query(benchmark):
+    result = run_experiment(
+        benchmark,
+        stream_replay,
+        dataset_names=("rwp-small",),
+        batch_ticks=8,
+        num_queries=12,
+    )
+    row = result.rows[0]
+    assert row["events"] > 0
+    assert row["ingest_events_per_sec"] > 0
+    assert row["premerge_mean_io"] > 0
+    assert row["postmerge_mean_io"] > 0
+    # Streaming must agree with the batch reference evaluator in both regimes.
+    assert row["premerge_matches"] == "12/12"
+    assert row["postmerge_matches"] == "12/12"

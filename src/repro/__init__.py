@@ -24,11 +24,13 @@ from __future__ import annotations
 
 from .core.config import (
     DEFAULT_RESOLUTIONS,
+    MERGE_POLICIES,
     ContactConfig,
     GrailConfig,
     ReachGraphConfig,
     ReachGridConfig,
     StorageConfig,
+    StreamingConfig,
 )
 from .core.engine import ReachabilityEngine
 from .core.errors import (
@@ -41,6 +43,7 @@ from .core.errors import (
     QueryError,
     ReproError,
     StorageError,
+    StreamingError,
     TrajectoryError,
     UnknownObjectError,
 )
@@ -60,6 +63,7 @@ from .generators import (
 )
 from .reachgraph import ReachGraphIndex, ReachGraphQueryProcessor
 from .reachgrid import ReachGridIndex, ReachGridQueryProcessor
+from .streaming import StreamingReachabilityService
 from .trajectory import Trajectory, TrajectoryDataset, TrajectoryStore
 from .workloads import DATASETS, make_dataset, random_queries
 
@@ -82,6 +86,8 @@ __all__ = [
     "ReachGridConfig",
     "ReachGraphConfig",
     "GrailConfig",
+    "StreamingConfig",
+    "MERGE_POLICIES",
     "DEFAULT_RESOLUTIONS",
     # errors
     "ReproError",
@@ -95,6 +101,7 @@ __all__ = [
     "QueryError",
     "InvalidIntervalError",
     "DatasetError",
+    "StreamingError",
     # substrates
     "Trajectory",
     "TrajectoryDataset",
@@ -112,6 +119,8 @@ __all__ = [
     "ReachGridQueryProcessor",
     "ReachGraphIndex",
     "ReachGraphQueryProcessor",
+    # streaming
+    "StreamingReachabilityService",
     # workloads
     "DATASETS",
     "make_dataset",

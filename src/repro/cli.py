@@ -6,6 +6,8 @@ Usage::
     python -m repro.cli figure13             # run one experiment
     python -m repro.cli all --output out.txt # run everything, save the report
     python -m repro.cli figure14 --quick     # smaller workloads, faster run
+    python -m repro.cli stream --quick       # streaming ingest vs batch rebuild
+    python -m repro.cli table5 --json out.json  # machine-readable results too
 """
 
 from __future__ import annotations
@@ -15,7 +17,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from .experiments.figures import EXPERIMENTS
-from .experiments.report import format_result
+from .experiments.report import format_result, format_results_json
 
 __all__ = ["main", "build_parser"]
 
@@ -33,6 +35,7 @@ _QUICK_OVERRIDES = {
     "figure14": {"dataset_names": ("rwp-tiny", "vn-tiny"), "lengths": (50, 100, 200), "num_queries": 6},
     "figure15": {"dataset_names": ("rwp-tiny", "vn-tiny"), "lengths": (50, 100, 200), "num_queries": 6},
     "table5": {"dataset_names": ("rwp-tiny", "vn-tiny"), "num_queries": 8, "query_length": 100},
+    "stream": {"dataset_names": ("rwp-tiny",), "num_queries": 6},
 }
 
 
@@ -61,14 +64,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the report to this file",
     )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help=(
+            "also emit machine-readable JSON results; pass a file path, "
+            "or '-' to print the JSON to stdout after the text report"
+        ),
+    )
     return parser
 
 
-def _run_one(name: str, quick: bool) -> str:
+def _run_one(name: str, quick: bool):
     driver = EXPERIMENTS[name]
     kwargs = _QUICK_OVERRIDES.get(name, {}) if quick else {}
-    result = driver(**kwargs)
-    return format_result(result)
+    return driver(**kwargs)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -93,15 +104,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         return 2  # pragma: no cover - parser.error raises SystemExit
 
-    sections = []
+    results = []
     for name in names:
         print(f"running {name} ...", file=sys.stderr)
-        sections.append(_run_one(name, args.quick))
-    report = "\n\n".join(sections)
+        results.append(_run_one(name, args.quick))
+    report = "\n\n".join(format_result(result) for result in results)
     print(report)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(report + "\n")
+    if args.json is not None:
+        document = format_results_json(results)
+        if args.json == "-":
+            print(document)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(document + "\n")
     return 0
 
 

@@ -4,11 +4,13 @@ from __future__ import annotations
 
 from .config import (
     DEFAULT_RESOLUTIONS,
+    MERGE_POLICIES,
     ContactConfig,
     GrailConfig,
     ReachGraphConfig,
     ReachGridConfig,
     StorageConfig,
+    StreamingConfig,
 )
 from .errors import (
     ConfigurationError,
@@ -20,6 +22,7 @@ from .errors import (
     QueryError,
     ReproError,
     StorageError,
+    StreamingError,
     TrajectoryError,
     UnknownObjectError,
 )
@@ -48,6 +51,8 @@ __all__ = [
     "ReachGridConfig",
     "ReachGraphConfig",
     "GrailConfig",
+    "StreamingConfig",
+    "MERGE_POLICIES",
     "DEFAULT_RESOLUTIONS",
     "ReproError",
     "ConfigurationError",
@@ -60,4 +65,5 @@ __all__ = [
     "QueryError",
     "InvalidIntervalError",
     "DatasetError",
+    "StreamingError",
 ]

@@ -20,7 +20,7 @@ Example
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 from ..core.config import (
     ContactConfig,
@@ -28,6 +28,7 @@ from ..core.config import (
     ReachGraphConfig,
     ReachGridConfig,
     StorageConfig,
+    StreamingConfig,
 )
 from ..core.errors import IndexNotBuiltError, QueryError
 from ..core.types import QueryResult, ReachabilityQuery
@@ -143,6 +144,28 @@ class ReachabilityEngine:
         )
         return self._trajectory_store
 
+    def streaming(
+        self,
+        streaming_config: StreamingConfig | None = None,
+        grid_config: ReachGridConfig | None = None,
+    ):
+        """A :class:`~repro.streaming.service.StreamingReachabilityService`
+        configured like this engine (same contact and storage parameters).
+
+        The service starts empty; feed it with ``service.drain(engine.dataset)``
+        to replay this engine's dataset as a stream, or ingest batches from any
+        :mod:`repro.streaming.source`.
+        """
+        from ..streaming.service import StreamingReachabilityService
+
+        return StreamingReachabilityService.for_dataset(
+            self.dataset,
+            contact_config=self.contact_config,
+            grid_config=grid_config,
+            streaming_config=streaming_config,
+            storage_config=self.storage_config,
+        )
+
     def build_grail(self, config: GrailConfig | None = None):
         """Build the GRAIL baseline index over the reduced DAG (returns it)."""
         from ..baselines.grail import GrailIndex
@@ -188,6 +211,10 @@ class ReachabilityEngine:
         ``reachgraph-b-bfs``, ``reachgraph-e-dfs``, ``spj``, ``grail-memory``,
         ``grail-disk``, or ``reference`` (the in-memory ground truth).
         """
+        if method not in METHODS:
+            raise QueryError(
+                f"unknown method {method!r}; choose one of: {', '.join(METHODS)}"
+            )
         if method == "reference":
             from ..baselines.reference import evaluate_reachability
 
@@ -211,11 +238,13 @@ class ReachabilityEngine:
             return self._spj.evaluate(query)
         if method == "grail-memory":
             return self.grail.evaluate_memory(query)
-        if method == "grail-disk":
-            return self.grail.evaluate_disk(query)
-        raise QueryError(f"unknown method {method!r}; expected one of {METHODS}")
+        return self.grail.evaluate_disk(query)
 
-    def compare(self, query: ReachabilityQuery, methods: tuple = ("reachgrid", "reachgraph")) -> Dict[str, QueryResult]:
+    def compare(
+        self,
+        query: ReachabilityQuery,
+        methods: Sequence[str] = ("reachgrid", "reachgraph"),
+    ) -> Dict[str, QueryResult]:
         """Evaluate the same query with several methods and return all results."""
         return {method: self.evaluate(query, method) for method in methods}
 

@@ -21,6 +21,7 @@ __all__ = [
     "QueryError",
     "InvalidIntervalError",
     "DatasetError",
+    "StreamingError",
 ]
 
 
@@ -93,3 +94,8 @@ class InvalidIntervalError(QueryError):
 
 class DatasetError(ReproError):
     """A dataset specification or generated dataset is invalid."""
+
+
+class StreamingError(ReproError):
+    """The event stream violates the ingestion contract (out-of-order batches,
+    samples beyond the watermark, inconsistent object horizons...)."""

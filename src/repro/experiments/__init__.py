@@ -4,7 +4,13 @@ from __future__ import annotations
 
 from .figures import EXPERIMENTS, clear_cache
 from .harness import ExperimentResult, WorkloadAggregate, aggregate_results, run_workload
-from .report import format_result, format_results, render_table
+from .report import (
+    format_result,
+    format_results,
+    format_results_json,
+    render_table,
+    result_to_dict,
+)
 
 __all__ = [
     "EXPERIMENTS",
@@ -15,5 +21,7 @@ __all__ = [
     "run_workload",
     "format_result",
     "format_results",
+    "format_results_json",
     "render_table",
+    "result_to_dict",
 ]

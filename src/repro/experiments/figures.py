@@ -664,6 +664,15 @@ def table5_grail_comparison(
 # ----------------------------------------------------------------------
 # registry used by the CLI and the benchmark suite
 # ----------------------------------------------------------------------
+def _stream_replay(**kwargs) -> ExperimentResult:
+    """Streaming ingest throughput and delta vs post-merge query IO."""
+    # Imported lazily: repro.streaming.experiment imports this package's
+    # harness, so a top-level import here would be circular.
+    from ..streaming.experiment import stream_replay
+
+    return stream_replay(**kwargs)
+
+
 EXPERIMENTS = {
     "table1": table1_complexity,
     "figure8": figure8_grid_resolution,
@@ -678,4 +687,5 @@ EXPERIMENTS = {
     "figure14": figure14_reachgrid_vs_reachgraph,
     "figure15": figure15_cpu_time,
     "table5": table5_grail_comparison,
+    "stream": _stream_replay,
 }

@@ -7,11 +7,18 @@ pasted into EXPERIMENTS.md, or eyeballed in a terminal.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+import json
+from typing import Dict, Iterable, List, Sequence
 
 from .harness import ExperimentResult
 
-__all__ = ["format_result", "format_results", "render_table"]
+__all__ = [
+    "format_result",
+    "format_results",
+    "render_table",
+    "result_to_dict",
+    "format_results_json",
+]
 
 
 def render_table(column_names: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
@@ -48,3 +55,23 @@ def format_result(result: ExperimentResult) -> str:
 def format_results(results: Iterable[ExperimentResult]) -> str:
     """Render several experiment results separated by blank lines."""
     return "\n\n".join(format_result(result) for result in results)
+
+
+def result_to_dict(result: ExperimentResult) -> Dict[str, object]:
+    """Flatten one experiment result into a JSON-serializable dict."""
+    return {
+        "experiment": result.experiment,
+        "description": result.description,
+        "columns": result.column_names(),
+        "rows": [dict(row) for row in result.rows],
+        "notes": list(result.notes),
+    }
+
+
+def format_results_json(results: Iterable[ExperimentResult]) -> str:
+    """Render experiment results as a machine-readable JSON document."""
+    return json.dumps(
+        {"results": [result_to_dict(result) for result in results]},
+        indent=2,
+        default=str,
+    )

@@ -10,6 +10,7 @@ rectangles to the set of cells they intersect.  No IO happens here.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterator, List, Tuple
 
@@ -18,10 +19,35 @@ from ..core.errors import ConfigurationError
 from ..core.types import Point, TimeInstant, TimeInterval
 from ..trajectory.mbr import MBR
 
-__all__ = ["CellKey", "GridGeometry"]
+__all__ = ["CellKey", "GridGeometry", "grid_axis_cells", "clamped_spatial_cell"]
 
 #: A grid cell is identified by (temporal interval index, column, row).
 CellKey = Tuple[int, int, int]
+
+
+def grid_axis_cells(extent: float, resolution: float) -> int:
+    """Number of grid cells of side ``resolution`` covering ``extent`` metres.
+
+    Shared by the batch :class:`GridGeometry` and the streaming ingestor so
+    the two layouts can never diverge; float-safe, so fractional resolutions
+    (including values below one metre) produce the correct cell count.
+    """
+    if resolution <= 0:
+        raise ConfigurationError("spatial resolution must be positive")
+    return max(1, math.ceil(extent / resolution))
+
+
+def clamped_spatial_cell(
+    position: Point, resolution: float, num_columns: int, num_rows: int
+) -> Tuple[int, int]:
+    """``(column, row)`` of the cell containing ``position``.
+
+    Positions outside the environment are clamped to the border cells so that
+    numerical jitter at the boundary never produces invalid keys.
+    """
+    col = min(max(int(position.x // resolution), 0), num_columns - 1)
+    row = min(max(int(position.y // resolution), 0), num_rows - 1)
+    return (col, row)
 
 
 @dataclass(frozen=True, slots=True)
@@ -91,12 +117,12 @@ class GridGeometry:
     @property
     def num_columns(self) -> int:
         """Number of spatial grid columns."""
-        return max(1, -(-int(self.environment_size[0]) // int(self.config.spatial_resolution)) )
+        return grid_axis_cells(self.environment_size[0], self.config.spatial_resolution)
 
     @property
     def num_rows(self) -> int:
         """Number of spatial grid rows."""
-        return max(1, -(-int(self.environment_size[1]) // int(self.config.spatial_resolution)) )
+        return grid_axis_cells(self.environment_size[1], self.config.spatial_resolution)
 
     def spatial_cell(self, position: Point) -> Tuple[int, int]:
         """``(column, row)`` of the spatial cell containing ``position``.
@@ -104,12 +130,9 @@ class GridGeometry:
         Positions outside the environment are clamped to the border cells so
         that numerical jitter at the boundary never produces invalid keys.
         """
-        rs = self.config.spatial_resolution
-        col = int(position.x // rs)
-        row = int(position.y // rs)
-        col = min(max(col, 0), self.num_columns - 1)
-        row = min(max(row, 0), self.num_rows - 1)
-        return (col, row)
+        return clamped_spatial_cell(
+            position, self.config.spatial_resolution, self.num_columns, self.num_rows
+        )
 
     def cell_key(self, t: TimeInstant, position: Point) -> CellKey:
         """Full spatiotemporal cell key for a sample at ``(t, position)``."""

@@ -1,0 +1,318 @@
+"""The ReachGraph delta overlay: frozen snapshot + in-memory delta graph.
+
+Write-optimized staging in front of read-optimized indexes (the EMBANKS
+pattern): contacts observed since the last merge live in an in-memory
+:class:`DeltaGraph`; everything older sits in a frozen *snapshot* — a
+disk-placed :class:`ContactSnapshotStore` (interval-ordered contact extents
+with real IO accounting) plus, optionally, a ReachGraph index rebuilt over the
+snapshot prefix for the paper's fast query path.
+
+A query is answered one of two ways:
+
+* **fast path** — no delta or open contact overlaps the query interval, so
+  the frozen ReachGraph processor alone is authoritative;
+* **overlay path** — the earliest-arrival sweep runs over the union of the
+  snapshot contacts overlapping the interval (read from disk, charged IO) and
+  the relevant delta/open contacts (in memory, free).
+
+Contacts are clipped at the snapshot watermark when they enter the delta, so
+the snapshot and the delta partition every validity interval without overlap;
+splitting an interval at the boundary is lossless for reachability because
+transmission happens at single instants.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.errors import StreamingError
+from ..core.types import (
+    ObjectId,
+    QueryResult,
+    ReachabilityQuery,
+    TimeInstant,
+    TimeInterval,
+)
+from ..baselines.reference import earliest_arrival
+from ..contacts.network import Contact, ContactNetwork
+from ..storage import StorageSystem
+from ..trajectory.model import TrajectoryDataset
+
+__all__ = ["DeltaGraph", "ContactSnapshotStore", "ReachGraphDeltaOverlay"]
+
+#: On-disk record of one snapshot contact: (first, second, start, end).
+ContactRecord = Tuple[ObjectId, ObjectId, TimeInstant, TimeInstant]
+
+
+class DeltaGraph:
+    """In-memory buffer of contact edges accumulated since the last merge."""
+
+    def __init__(self) -> None:
+        self._contacts: List[Contact] = []
+
+    def add(self, contact: Contact) -> None:
+        """Append one contact edge to the delta."""
+        self._contacts.append(contact)
+
+    def contacts_overlapping(self, interval: TimeInterval) -> List[Contact]:
+        """Delta contacts whose validity overlaps ``interval``."""
+        return [c for c in self._contacts if c.validity.overlaps(interval)]
+
+    def clear(self) -> None:
+        """Drop every buffered contact (called after a merge)."""
+        self._contacts.clear()
+
+    @property
+    def contacts(self) -> List[Contact]:
+        """All buffered contacts, in arrival order."""
+        return list(self._contacts)
+
+    def __len__(self) -> int:
+        return len(self._contacts)
+
+
+class ContactSnapshotStore:
+    """Frozen snapshot contacts placed on the simulated disk.
+
+    Contacts are grouped into extents by the temporal grid interval their
+    validity *starts* in, written in interval order (the same placement rule
+    ReachGrid uses for its cells).  Each extent remembers the latest validity
+    end among its contacts, so a read for a query interval skips extents that
+    cannot overlap it without paying any IO.
+    """
+
+    def __init__(
+        self,
+        storage: StorageSystem,
+        contacts: Iterable[Contact],
+        origin: TimeInstant,
+        temporal_resolution: int,
+        name: str = "snapshot-contacts",
+    ) -> None:
+        if temporal_resolution <= 0:
+            raise StreamingError("temporal_resolution must be positive")
+        self._storage = storage
+        self._origin = origin
+        self._rt = temporal_resolution
+        self._file = storage.new_blockfile(name)
+        self._max_end: Dict[int, TimeInstant] = {}
+        grouped: Dict[int, List[ContactRecord]] = {}
+        count = 0
+        for contact in contacts:
+            index = (contact.validity.start - origin) // temporal_resolution
+            record: ContactRecord = (
+                contact.first,
+                contact.second,
+                contact.validity.start,
+                contact.validity.end,
+            )
+            grouped.setdefault(index, []).append(record)
+            count += 1
+        for index in sorted(grouped):
+            records = sorted(grouped[index], key=lambda r: (r[2], r[0], r[1]))
+            self._file.append_extent(index, records)
+            self._max_end[index] = max(record[3] for record in records)
+        self._num_contacts = count
+
+    @property
+    def num_contacts(self) -> int:
+        """Number of contacts held by the snapshot."""
+        return self._num_contacts
+
+    @property
+    def num_blocks(self) -> int:
+        """Disk blocks occupied by the snapshot's contact extents."""
+        return self._file.num_blocks
+
+    def read_overlapping(self, interval: TimeInterval) -> List[Contact]:
+        """Read (and charge IO for) the snapshot contacts overlapping ``interval``."""
+        contacts: List[Contact] = []
+        for index in self._file.extent_keys():
+            extent_start = self._origin + index * self._rt
+            if extent_start > interval.end:
+                break  # later extents only hold later-starting contacts
+            if self._max_end[index] < interval.start:
+                continue  # provably disjoint: skip without IO
+            for first, second, start, end in self._file.read_extent(index):
+                validity = TimeInterval(start, end)
+                if validity.overlaps(interval):
+                    contacts.append(Contact(first, second, validity))
+        return contacts
+
+
+class ReachGraphDeltaOverlay:
+    """Snapshot + delta pair answering queries over the full ingested prefix."""
+
+    def __init__(self, storage: StorageSystem) -> None:
+        self._storage = storage
+        self._delta = DeltaGraph()
+        self._store: Optional[ContactSnapshotStore] = None
+        self._network: Optional[ContactNetwork] = None
+        self._processor = None  # ReachGraphQueryProcessor over the snapshot
+        self._snapshot_watermark: Optional[TimeInstant] = None
+        self._version = 0
+
+    # ------------------------------------------------------------------
+    # delta maintenance
+    # ------------------------------------------------------------------
+    def add_contact(self, contact: Contact) -> None:
+        """Buffer a newly closed contact, clipped past the snapshot watermark."""
+        clipped = self._clip_past_snapshot(contact)
+        if clipped is not None:
+            self._delta.add(clipped)
+
+    def _clip_past_snapshot(self, contact: Contact) -> Optional[Contact]:
+        if self._snapshot_watermark is None:
+            return contact
+        if contact.validity.end <= self._snapshot_watermark:
+            return None  # entirely covered by the snapshot
+        start = max(contact.validity.start, self._snapshot_watermark + 1)
+        return Contact(
+            contact.first, contact.second, TimeInterval(start, contact.validity.end)
+        )
+
+    # ------------------------------------------------------------------
+    # merges
+    # ------------------------------------------------------------------
+    def install_snapshot(
+        self,
+        dataset: TrajectoryDataset,
+        contacts: Sequence[Contact],
+        watermark: TimeInstant,
+        temporal_resolution: int,
+        distance_threshold: float,
+        build_reachgraph: bool = True,
+    ) -> None:
+        """Replace the snapshot with a fresh one over the full prefix.
+
+        ``contacts`` must be the complete contact set of the prefix (the
+        ingestor's closed plus open-clipped contacts); the delta is emptied
+        because everything it held is now part of the snapshot.
+        """
+        self._version += 1
+        self._store = ContactSnapshotStore(
+            self._storage,
+            contacts,
+            origin=dataset.horizon.start,
+            temporal_resolution=temporal_resolution,
+            name=f"snapshot-contacts-v{self._version}",
+        )
+        self._network = ContactNetwork(dataset, contacts, distance_threshold)
+        self._processor = None
+        if build_reachgraph:
+            from ..reachgraph import ReachGraphIndex, ReachGraphQueryProcessor
+
+            index = ReachGraphIndex(
+                dataset,
+                contact_config=None,
+                contact_network=self._network,
+            ).build()
+            self._processor = ReachGraphQueryProcessor(index)
+        self._snapshot_watermark = watermark
+        self._delta.clear()
+
+    # ------------------------------------------------------------------
+    # introspection (merge policies read these)
+    # ------------------------------------------------------------------
+    @property
+    def delta_size(self) -> int:
+        """Number of contacts buffered in the delta graph."""
+        return len(self._delta)
+
+    @property
+    def snapshot_size(self) -> int:
+        """Number of contacts in the frozen snapshot (0 before the first merge)."""
+        return self._store.num_contacts if self._store is not None else 0
+
+    @property
+    def snapshot_watermark(self) -> Optional[TimeInstant]:
+        """Watermark of the last merge, or ``None`` before the first one."""
+        return self._snapshot_watermark
+
+    @property
+    def amplification(self) -> float:
+        """Delta size relative to the snapshot size (the merge trigger ratio)."""
+        return self.delta_size / max(1, self.snapshot_size)
+
+    @property
+    def snapshot_network(self) -> Optional[ContactNetwork]:
+        """The snapshot's contact network (for inspection)."""
+        return self._network
+
+    @property
+    def has_reachgraph(self) -> bool:
+        """True when the snapshot carries a ReachGraph fast path."""
+        return self._processor is not None
+
+    # ------------------------------------------------------------------
+    # query evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, query: ReachabilityQuery, open_contacts: Sequence[Contact] = ()
+    ) -> QueryResult:
+        """Answer ``query`` over snapshot ∪ delta ∪ open contacts.
+
+        ``open_contacts`` are the ingestor's still-open runs clipped to the
+        current watermark; they are clipped again past the snapshot watermark
+        here so nothing is counted twice.
+        """
+        interval = query.interval
+        delta_relevant = self._delta.contacts_overlapping(interval)
+        open_relevant: List[Contact] = []
+        for contact in open_contacts:
+            clipped = self._clip_past_snapshot(contact)
+            if clipped is not None and clipped.validity.overlaps(interval):
+                open_relevant.append(clipped)
+
+        if (
+            self._processor is not None
+            and not delta_relevant
+            and not open_relevant
+            and self._fast_path_applicable(query)
+        ):
+            return self._processor.evaluate(query)
+
+        cpu_started = time.process_time()
+        self._storage.reset_for_query()
+        io_before = self._storage.snapshot()
+        contacts: List[Contact] = []
+        if self._store is not None:
+            contacts.extend(self._store.read_overlapping(interval))
+        contacts.extend(delta_relevant)
+        contacts.extend(open_relevant)
+
+        if query.source == query.destination:
+            reachable, earliest = True, interval.start
+        else:
+            arrival = earliest_arrival(
+                contacts, query.source, interval, destination=query.destination
+            )
+            earliest = arrival.get(query.destination)
+            reachable = earliest is not None
+
+        io_delta = self._storage.charge_since(io_before)
+        return QueryResult(
+            reachable=reachable,
+            earliest_time=earliest,
+            io=io_delta.normalized(self._storage.config.sequential_cost),
+            random_ios=io_delta.random_reads,
+            sequential_ios=io_delta.sequential_reads,
+            cpu_seconds=time.process_time() - cpu_started,
+            visited=len(contacts),
+        )
+
+    def _fast_path_applicable(self, query: ReachabilityQuery) -> bool:
+        dataset = self._network.dataset if self._network is not None else None
+        return (
+            dataset is not None
+            and query.source in dataset
+            and query.destination in dataset
+            and query.interval.intersection(dataset.horizon) is not None
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ReachGraphDeltaOverlay(snapshot={self.snapshot_size}, "
+            f"delta={self.delta_size}, watermark={self._snapshot_watermark})"
+        )

@@ -1,0 +1,270 @@
+"""The queryable streaming facade: ``ingest(events)`` / ``query(q)``.
+
+:class:`StreamingReachabilityService` ties the subsystem together: a
+:class:`~repro.streaming.ingest.StreamIngestor` keeps grid cells and the
+incremental contact join current, a
+:class:`~repro.streaming.delta.ReachGraphDeltaOverlay` answers queries over
+snapshot ∪ delta, a merge policy decides when the delta is folded into a new
+snapshot, and an LRU query-result cache — invalidated whenever the watermark
+advances — absorbs repeated queries between arrivals.
+
+Correctness contract: at any point of the stream, ``query(q)`` returns the
+same reachability verdict as the batch ``reference`` evaluator run over the
+contact network of the ingested prefix.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+from ..core.config import (
+    ContactConfig,
+    ReachGridConfig,
+    StorageConfig,
+    StreamingConfig,
+)
+from ..core.errors import StreamingError
+from ..core.types import QueryResult, ReachabilityQuery, TimeInstant
+from ..storage import StorageSystem
+from ..trajectory.model import TrajectoryDataset
+from .delta import ReachGraphDeltaOverlay
+from .events import SampleEvent, StreamBatch
+from .ingest import StreamIngestor
+from .policy import MergeContext, make_policy
+from .source import replay
+
+__all__ = ["StreamingReachabilityService", "StreamingStats"]
+
+
+@dataclass(frozen=True, slots=True)
+class StreamingStats:
+    """Counters describing the state of a streaming service."""
+
+    events: int
+    batches: int
+    merges: int
+    queries: int
+    cache_hits: int
+    cache_misses: int
+    watermark: Optional[TimeInstant]
+    snapshot_watermark: Optional[TimeInstant]
+    delta_contacts: int
+    snapshot_contacts: int
+    flushed_intervals: int
+    ingest_seconds: float
+
+    @property
+    def events_per_second(self) -> float:
+        """Ingest throughput over the life of the service."""
+        if self.ingest_seconds <= 0:
+            return 0.0
+        return self.events / self.ingest_seconds
+
+
+class StreamingReachabilityService:
+    """Accepts an ordered event stream and stays queryable throughout."""
+
+    def __init__(
+        self,
+        environment_size: Tuple[float, float],
+        contact_config: ContactConfig | None = None,
+        grid_config: ReachGridConfig | None = None,
+        streaming_config: StreamingConfig | None = None,
+        storage_config: StorageConfig | None = None,
+        name: str = "stream",
+    ) -> None:
+        self.contact_config = contact_config or ContactConfig()
+        self.grid_config = grid_config or ReachGridConfig()
+        self.streaming_config = streaming_config or StreamingConfig()
+        self.name = name
+        self._ingestor = StreamIngestor(
+            environment_size,
+            contact_config=self.contact_config,
+            grid_config=self.grid_config,
+            storage_config=storage_config,
+            name=name,
+        )
+        # The overlay gets its own storage system so per-query IO accounting
+        # is not polluted by the ingestor's ongoing grid writes.
+        self._overlay = ReachGraphDeltaOverlay(StorageSystem(storage_config))
+        self._policy = make_policy(self.streaming_config)
+        self._cache: "OrderedDict[ReachabilityQuery, QueryResult]" = OrderedDict()
+        self._consumed_closed = 0
+        self._intervals_at_merge = 0
+        self._batches = 0
+        self._merges = 0
+        self._queries = 0
+        self._cache_hits = 0
+        self._cache_misses = 0
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_dataset(
+        cls,
+        dataset: TrajectoryDataset,
+        contact_config: ContactConfig | None = None,
+        grid_config: ReachGridConfig | None = None,
+        streaming_config: StreamingConfig | None = None,
+        storage_config: StorageConfig | None = None,
+    ) -> "StreamingReachabilityService":
+        """A service sized for (but not yet fed with) a dataset's environment."""
+        return cls(
+            environment_size=dataset.environment_size,
+            contact_config=contact_config,
+            grid_config=grid_config,
+            streaming_config=streaming_config,
+            storage_config=storage_config,
+            name=f"{dataset.name}-stream",
+        )
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def ingest(self, events: StreamBatch | Iterable[SampleEvent]) -> int:
+        """Ingest one batch (or a bare iterable of sample events).
+
+        A bare iterable is wrapped into a batch whose watermark is its latest
+        sample time.  Returns the number of events ingested; afterwards the
+        service is immediately queryable at the new watermark.
+        """
+        batch = (
+            events
+            if isinstance(events, StreamBatch)
+            else StreamBatch.of(tuple(events))
+        )
+        before = self._ingestor.watermark
+        count = self._ingestor.ingest(batch)
+        self._batches += 1
+        self._sync_delta()
+        if self._ingestor.watermark != before:
+            self._cache.clear()
+        self._maybe_merge()
+        return count
+
+    def drain(self, source) -> StreamingStats:
+        """Ingest an entire stream source (or dataset / canned name) to its end."""
+        if isinstance(source, (TrajectoryDataset, str)):
+            source = replay(source, batch_ticks=self.streaming_config.batch_ticks)
+        for batch in source.batches():
+            self.ingest(batch)
+        return self.stats
+
+    def _sync_delta(self) -> None:
+        for contact in self._ingestor.closed_contacts_since(self._consumed_closed):
+            self._overlay.add_contact(contact)
+        self._consumed_closed = self._ingestor.num_closed_contacts
+
+    def _merge_context(self) -> MergeContext:
+        return MergeContext(
+            delta_contacts=self._overlay.delta_size,
+            snapshot_contacts=self._overlay.snapshot_size,
+            intervals_since_merge=self._ingestor.num_flushed_intervals
+            - self._intervals_at_merge,
+            watermark=self._ingestor.watermark,
+            snapshot_watermark=self._overlay.snapshot_watermark,
+        )
+
+    def _maybe_merge(self) -> None:
+        watermark = self._ingestor.watermark
+        if watermark is None or watermark == self._overlay.snapshot_watermark:
+            return
+        if self._policy.should_merge(self._merge_context()):
+            self.merge()
+
+    def merge(self) -> None:
+        """Fold the delta into a fresh snapshot over the full ingested prefix.
+
+        Normally triggered by the merge policy; exposed so callers can force a
+        merge (e.g. before a read-heavy phase).
+        """
+        watermark = self._ingestor.watermark
+        if watermark is None:
+            raise StreamingError("nothing to merge: no batch ingested yet")
+        prefix = self._ingestor.prefix_dataset()
+        contacts = self._ingestor.contacts_through_watermark()
+        self._overlay.install_snapshot(
+            prefix,
+            contacts,
+            watermark=watermark,
+            temporal_resolution=self.grid_config.temporal_resolution,
+            distance_threshold=self.contact_config.distance_threshold,
+            build_reachgraph=self.streaming_config.build_reachgraph_on_merge,
+        )
+        self._intervals_at_merge = self._ingestor.num_flushed_intervals
+        self._merges += 1
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def query(self, query: ReachabilityQuery) -> QueryResult:
+        """Answer a reachability query over everything ingested so far."""
+        self._queries += 1
+        capacity = self.streaming_config.query_cache_size
+        if capacity > 0:
+            cached = self._cache.get(query)
+            if cached is not None:
+                self._cache.move_to_end(query)
+                self._cache_hits += 1
+                return cached
+            self._cache_misses += 1
+        result = self._overlay.evaluate(
+            query, open_contacts=self._ingestor.open_contacts()
+        )
+        if capacity > 0:
+            self._cache[query] = result
+            while len(self._cache) > capacity:
+                self._cache.popitem(last=False)
+        return result
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def watermark(self) -> Optional[TimeInstant]:
+        """Last complete tick of the stream (``None`` before the first batch)."""
+        return self._ingestor.watermark
+
+    @property
+    def ingestor(self) -> StreamIngestor:
+        """The underlying ingestor (grid cells, contacts, counters)."""
+        return self._ingestor
+
+    @property
+    def overlay(self) -> ReachGraphDeltaOverlay:
+        """The snapshot + delta overlay answering queries."""
+        return self._overlay
+
+    @property
+    def num_merges(self) -> int:
+        """Merges performed so far."""
+        return self._merges
+
+    @property
+    def stats(self) -> StreamingStats:
+        """A snapshot of the service's counters."""
+        return StreamingStats(
+            events=self._ingestor.num_events,
+            batches=self._batches,
+            merges=self._merges,
+            queries=self._queries,
+            cache_hits=self._cache_hits,
+            cache_misses=self._cache_misses,
+            watermark=self._ingestor.watermark,
+            snapshot_watermark=self._overlay.snapshot_watermark,
+            delta_contacts=self._overlay.delta_size,
+            snapshot_contacts=self._overlay.snapshot_size,
+            flushed_intervals=self._ingestor.num_flushed_intervals,
+            ingest_seconds=self._ingestor.ingest_seconds,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StreamingReachabilityService(name={self.name!r}, "
+            f"watermark={self.watermark}, merges={self._merges}, "
+            f"delta={self._overlay.delta_size})"
+        )

@@ -1,0 +1,111 @@
+"""Stream sources: replay stored or generated data as a timestamped stream.
+
+A *stream source* is anything iterable over :class:`StreamBatch` objects in
+non-decreasing watermark order.  The sources here replay the repo's existing
+offline artifacts — a :class:`~repro.trajectory.model.TrajectoryDataset` or
+any generator from :mod:`repro.generators` — as if their samples were arriving
+live, which is how the equivalence tests drive the streaming service with data
+whose batch ground truth is already known.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Protocol
+
+from ..core.errors import StreamingError
+from ..trajectory.model import TrajectoryDataset
+from .events import SampleEvent, StreamBatch
+
+__all__ = ["StreamSource", "DatasetReplaySource", "GeneratorReplaySource", "replay"]
+
+
+class StreamSource(Protocol):
+    """Anything that yields stream batches in watermark order."""
+
+    def batches(self) -> Iterator[StreamBatch]:
+        """Iterate the batches of the stream."""
+        ...
+
+
+class DatasetReplaySource:
+    """Replays a trajectory dataset tick by tick as a stream of batches.
+
+    Each batch carries the samples of ``batch_ticks`` consecutive time
+    instances (every object reports once per tick, as the dense datasets do)
+    and a watermark equal to the last tick included, so a consumer sees
+    exactly the arrival order a live deployment would.
+    """
+
+    def __init__(self, dataset: TrajectoryDataset, batch_ticks: int = 8) -> None:
+        if batch_ticks <= 0:
+            raise StreamingError("batch_ticks must be positive")
+        self.dataset = dataset
+        self.batch_ticks = batch_ticks
+
+    @property
+    def num_events(self) -> int:
+        """Total number of sample events the replay will deliver."""
+        return self.dataset.num_objects * self.dataset.num_instants
+
+    def batches(self) -> Iterator[StreamBatch]:
+        """Yield the dataset's samples as watermark-ordered batches."""
+        for window in self.dataset.horizon.split(self.batch_ticks):
+            samples = []
+            for t in window.instants():
+                for object_id, position in sorted(self.dataset.positions_at(t).items()):
+                    samples.append(SampleEvent(object_id, t, position))
+            yield StreamBatch(tuple(samples), watermark=window.end)
+
+    def __iter__(self) -> Iterator[StreamBatch]:
+        return self.batches()
+
+
+class GeneratorReplaySource:
+    """Replays the output of a trajectory generator as a stream.
+
+    Works with any of the generators in :mod:`repro.generators` (anything with
+    a ``generate() -> TrajectoryDataset`` method); the dataset is materialized
+    once, lazily, on first iteration.
+    """
+
+    def __init__(self, generator, batch_ticks: int = 8) -> None:
+        if batch_ticks <= 0:
+            raise StreamingError("batch_ticks must be positive")
+        self._generator = generator
+        self.batch_ticks = batch_ticks
+        self._replay: DatasetReplaySource | None = None
+
+    def _materialize(self) -> DatasetReplaySource:
+        if self._replay is None:
+            self._replay = DatasetReplaySource(
+                self._generator.generate(), batch_ticks=self.batch_ticks
+            )
+        return self._replay
+
+    @property
+    def dataset(self) -> TrajectoryDataset:
+        """The generated dataset backing the replay."""
+        return self._materialize().dataset
+
+    def batches(self) -> Iterator[StreamBatch]:
+        """Yield the generated dataset's samples as batches."""
+        return self._materialize().batches()
+
+    def __iter__(self) -> Iterator[StreamBatch]:
+        return self.batches()
+
+
+def replay(source, batch_ticks: int = 8) -> StreamSource:
+    """Wrap a dataset, canned-dataset name, or generator as a stream source."""
+    if isinstance(source, TrajectoryDataset):
+        return DatasetReplaySource(source, batch_ticks=batch_ticks)
+    if isinstance(source, str):
+        from ..workloads.datasets import make_dataset
+
+        return DatasetReplaySource(make_dataset(source), batch_ticks=batch_ticks)
+    if hasattr(source, "generate"):
+        return GeneratorReplaySource(source, batch_ticks=batch_ticks)
+    raise StreamingError(
+        f"cannot replay {type(source).__name__}: expected a TrajectoryDataset, "
+        "a canned dataset name, or a generator with .generate()"
+    )

@@ -23,7 +23,8 @@ from repro.experiments.figures import (
     table1_complexity,
     table4_average_degree,
 )
-from repro.cli import build_parser, main
+from repro.experiments.report import format_results_json, result_to_dict
+from repro.cli import _QUICK_OVERRIDES, build_parser, main
 
 
 class TestHarness:
@@ -112,6 +113,7 @@ class TestExperimentDrivers:
             "figure14",
             "figure15",
             "table5",
+            "stream",
         }
 
     def test_table1_is_static(self):
@@ -152,6 +154,26 @@ class TestExperimentDrivers:
         assert "improvement_pct" in result.column_names()
 
 
+class TestReportingJson:
+    def test_result_to_dict_shape(self):
+        result = ExperimentResult("exp", "a description")
+        result.add_row(x=1, y="a")
+        result.add_note("remember")
+        payload = result_to_dict(result)
+        assert payload["experiment"] == "exp"
+        assert payload["columns"] == ["x", "y"]
+        assert payload["rows"] == [{"x": 1, "y": "a"}]
+        assert payload["notes"] == ["remember"]
+
+    def test_format_results_json_is_parseable(self):
+        import json
+
+        result = ExperimentResult("exp", "desc")
+        result.add_row(value=3.5)
+        document = json.loads(format_results_json([result]))
+        assert document["results"][0]["rows"] == [{"value": 3.5}]
+
+
 class TestCli:
     def test_parser_accepts_known_arguments(self):
         parser = build_parser()
@@ -159,6 +181,26 @@ class TestCli:
         assert args.experiment == "figure13"
         assert args.quick is True
         assert args.output == "report.txt"
+        assert args.json is None
+
+    def test_quick_overrides_reference_known_experiments(self):
+        # Guards against drift when experiments are added or renamed: every
+        # --quick override must target a registered experiment.
+        assert set(_QUICK_OVERRIDES) <= set(EXPERIMENTS)
+
+    def test_quick_overrides_use_valid_driver_keywords(self):
+        import inspect
+
+        for name, overrides in _QUICK_OVERRIDES.items():
+            driver = EXPERIMENTS[name]
+            parameters = inspect.signature(driver).parameters
+            if any(
+                parameter.kind is inspect.Parameter.VAR_KEYWORD
+                for parameter in parameters.values()
+            ):
+                continue  # driver forwards **kwargs; nothing to check here
+            unknown = set(overrides) - set(parameters)
+            assert not unknown, f"{name}: unknown override keys {unknown}"
 
     def test_list_prints_every_experiment(self, capsys):
         assert main(["list"]) == 0
@@ -180,3 +222,22 @@ class TestCli:
         assert main(["table1", "--output", str(target)]) == 0
         capsys.readouterr()
         assert "GRAIL" in target.read_text()
+
+    def test_json_file_is_written(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "results.json"
+        assert main(["table1", "--json", str(target)]) == 0
+        capsys.readouterr()
+        document = json.loads(target.read_text())
+        assert document["results"][0]["experiment"] == "table1"
+        assert len(document["results"][0]["rows"]) == 3
+
+    def test_json_dash_prints_to_stdout(self, capsys):
+        import json
+
+        assert main(["table1", "--json", "-"]) == 0
+        output = capsys.readouterr().out
+        # The text report comes first, then the JSON document.
+        document = json.loads(output[output.index("{") :])
+        assert document["results"][0]["experiment"] == "table1"

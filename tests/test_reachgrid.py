@@ -107,6 +107,19 @@ class TestReachGridIndex:
         with pytest.raises(IndexConstructionError):
             tiny_reachgrid.build()
 
+    def test_double_build_rejected_on_fresh_index(
+        self, tiny_dataset, tiny_contact_config
+    ):
+        # Same guard on an index built locally (not via the shared fixture), so
+        # the error cannot be an artifact of fixture reuse across tests.
+        index = ReachGridIndex(
+            tiny_dataset,
+            ReachGridConfig(temporal_resolution=10, spatial_resolution=100.0),
+            tiny_contact_config,
+        ).build()
+        with pytest.raises(IndexConstructionError):
+            index.build()
+
     def test_unbuilt_index_refuses_queries(self, tiny_dataset, tiny_contact_config):
         index = ReachGridIndex(tiny_dataset, contact_config=tiny_contact_config)
         with pytest.raises(IndexNotBuiltError):

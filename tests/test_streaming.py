@@ -1,0 +1,385 @@
+"""Tests for the streaming ingestion subsystem.
+
+The correctness bar (set by the issue that introduced the subsystem): after
+draining a replayed dataset, the streaming service must answer every query
+exactly like the batch ``reference`` evaluator over the same data — for all
+three merge policies, and also for queries issued mid-stream, where the answer
+must reflect the ingested prefix.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.reference import evaluate_reachability
+from repro.contacts import build_contact_network
+from repro.core import (
+    ConfigurationError,
+    Point,
+    ReachabilityQuery,
+    StreamingConfig,
+    StreamingError,
+    TimeInterval,
+)
+from repro.core.engine import ReachabilityEngine
+from repro.streaming import (
+    AmplificationPolicy,
+    ContactEvent,
+    DatasetReplaySource,
+    DeltaSizePolicy,
+    ElapsedIntervalsPolicy,
+    GeneratorReplaySource,
+    MergeContext,
+    SampleEvent,
+    StreamBatch,
+    StreamIngestor,
+    StreamingReachabilityService,
+    make_policy,
+    replay,
+    stream_replay,
+)
+from repro.generators import RandomWaypointGenerator
+from repro.workloads.queries import random_queries
+
+# The contact threshold of the shared tiny_* fixtures (importing it from
+# tests/conftest.py would collide with benchmarks/conftest.py when the whole
+# repo is collected in one pytest run).
+TINY_THRESHOLD = 30.0
+
+
+# ----------------------------------------------------------------------
+# events and sources
+# ----------------------------------------------------------------------
+class TestEvents:
+    def test_batch_rejects_samples_beyond_watermark(self):
+        sample = SampleEvent(1, 10, Point(0.0, 0.0))
+        with pytest.raises(StreamingError):
+            StreamBatch((sample,), watermark=5)
+
+    def test_batch_of_defaults_watermark_to_latest_sample(self):
+        batch = StreamBatch.of(
+            [SampleEvent(1, 3, Point(0, 0)), SampleEvent(2, 7, Point(1, 1))]
+        )
+        assert batch.watermark == 7
+        assert batch.num_events == 2
+
+    def test_empty_batch_needs_explicit_watermark(self):
+        with pytest.raises(StreamingError):
+            StreamBatch.of([])
+        assert StreamBatch.of([], watermark=4).watermark == 4
+
+    def test_contact_event_roundtrip(self, tiny_network):
+        contact = tiny_network.contacts[0]
+        event = ContactEvent.from_contact(contact)
+        assert event.to_contact() == contact
+
+    def test_contact_event_requires_ordered_pair(self):
+        with pytest.raises(StreamingError):
+            ContactEvent(5, 2, TimeInterval(0, 1))
+
+
+class TestSources:
+    def test_dataset_replay_covers_every_sample(self, tiny_dataset):
+        source = DatasetReplaySource(tiny_dataset, batch_ticks=7)
+        batches = list(source.batches())
+        total = sum(batch.num_events for batch in batches)
+        assert total == source.num_events
+        assert total == tiny_dataset.num_objects * tiny_dataset.num_instants
+        watermarks = [batch.watermark for batch in batches]
+        assert watermarks == sorted(watermarks)
+        assert watermarks[-1] == tiny_dataset.horizon.end
+
+    def test_generator_replay_materializes_lazily(self):
+        generator = RandomWaypointGenerator(
+            num_objects=5, horizon=20, environment_size=(100.0, 100.0), seed=3
+        )
+        source = GeneratorReplaySource(generator, batch_ticks=6)
+        batches = list(source.batches())
+        assert sum(len(batch) for batch in batches) == 5 * 20
+
+    def test_replay_helper_dispatches(self, tiny_dataset):
+        assert isinstance(replay(tiny_dataset), DatasetReplaySource)
+        assert isinstance(replay("rwp-tiny"), DatasetReplaySource)
+        with pytest.raises(StreamingError):
+            replay(42)
+
+
+# ----------------------------------------------------------------------
+# ingestor
+# ----------------------------------------------------------------------
+class TestStreamIngestor:
+    @pytest.fixture()
+    def drained(self, tiny_dataset, tiny_contact_config):
+        ingestor = StreamIngestor(
+            tiny_dataset.environment_size, contact_config=tiny_contact_config
+        )
+        ingestor.ingest_all(DatasetReplaySource(tiny_dataset, batch_ticks=9).batches())
+        return ingestor
+
+    def test_contacts_match_batch_join_up_to_splitting(self, drained, tiny_network):
+        # Sum of per-(pair) covered instants must match the batch network
+        # exactly: splitting validity intervals never loses coverage.
+        def coverage(contacts):
+            per_pair = {}
+            for contact in contacts:
+                key = (contact.first, contact.second)
+                per_pair[key] = per_pair.get(key, 0) + contact.validity.length
+            return per_pair
+
+        assert coverage(drained.contacts_through_watermark()) == coverage(
+            tiny_network.contacts
+        )
+
+    def test_prefix_dataset_roundtrips(self, drained, tiny_dataset):
+        prefix = drained.prefix_dataset()
+        assert prefix.num_objects == tiny_dataset.num_objects
+        assert prefix.horizon == tiny_dataset.horizon
+        t = tiny_dataset.horizon.midpoint
+        assert prefix.positions_at(t) == tiny_dataset.positions_at(t)
+
+    def test_grid_cells_flushed_in_interval_order(self, drained):
+        keys = drained.flushed_cell_keys()
+        assert keys, "expected at least one flushed cell"
+        interval_indices = [key[0] for key in keys]
+        assert interval_indices == sorted(interval_indices)
+        records = drained.read_cell(keys[0])
+        times = [record[1] for record in records]
+        assert times == sorted(times)
+
+    def test_watermark_regression_rejected(self, tiny_dataset, tiny_contact_config):
+        ingestor = StreamIngestor(
+            tiny_dataset.environment_size, contact_config=tiny_contact_config
+        )
+        batches = list(DatasetReplaySource(tiny_dataset, batch_ticks=5).batches())
+        ingestor.ingest(batches[1])
+        with pytest.raises(StreamingError):
+            ingestor.ingest(batches[0])
+
+    def test_late_sample_rejected(self, tiny_dataset, tiny_contact_config):
+        ingestor = StreamIngestor(
+            tiny_dataset.environment_size, contact_config=tiny_contact_config
+        )
+        ingestor.ingest(StreamBatch.of([SampleEvent(1, 0, Point(0, 0))]))
+        with pytest.raises(StreamingError):
+            ingestor.ingest(StreamBatch.of([SampleEvent(2, 0, Point(1, 1))], watermark=1))
+
+
+# ----------------------------------------------------------------------
+# merge policies
+# ----------------------------------------------------------------------
+class TestMergePolicies:
+    def _context(self, **overrides):
+        base = dict(
+            delta_contacts=10,
+            snapshot_contacts=100,
+            intervals_since_merge=1,
+            watermark=50,
+            snapshot_watermark=20,
+        )
+        base.update(overrides)
+        return MergeContext(**base)
+
+    def test_delta_size_policy(self):
+        policy = DeltaSizePolicy(16)
+        assert not policy.should_merge(self._context(delta_contacts=15))
+        assert policy.should_merge(self._context(delta_contacts=16))
+
+    def test_elapsed_intervals_policy(self):
+        policy = ElapsedIntervalsPolicy(4)
+        assert not policy.should_merge(self._context(intervals_since_merge=3))
+        assert policy.should_merge(self._context(intervals_since_merge=4))
+
+    def test_amplification_policy(self):
+        policy = AmplificationPolicy(0.25)
+        assert not policy.should_merge(
+            self._context(delta_contacts=24, snapshot_contacts=100)
+        )
+        assert policy.should_merge(
+            self._context(delta_contacts=25, snapshot_contacts=100)
+        )
+        assert not policy.should_merge(self._context(delta_contacts=0))
+
+    def test_make_policy_respects_config(self):
+        assert isinstance(
+            make_policy(StreamingConfig(merge_policy="delta-size")), DeltaSizePolicy
+        )
+        assert isinstance(
+            make_policy(StreamingConfig(merge_policy="elapsed-intervals")),
+            ElapsedIntervalsPolicy,
+        )
+        assert isinstance(
+            make_policy(StreamingConfig(merge_policy="amplification")),
+            AmplificationPolicy,
+        )
+
+    def test_streaming_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            StreamingConfig(merge_policy="nope")
+        with pytest.raises(ConfigurationError):
+            StreamingConfig(batch_ticks=0)
+        with pytest.raises(ConfigurationError):
+            StreamingConfig(query_cache_size=-1)
+        assert StreamingConfig().with_merge_policy("amplification").merge_policy == (
+            "amplification"
+        )
+
+
+# ----------------------------------------------------------------------
+# service: equivalence with the batch reference evaluator
+# ----------------------------------------------------------------------
+#: Policy configs tuned so every policy actually merges a few times on the
+#: tiny dataset (and the equivalence claim is exercised across merges).
+POLICY_CONFIGS = {
+    "delta-size": StreamingConfig(merge_policy="delta-size", max_delta_contacts=48),
+    "elapsed-intervals": StreamingConfig(
+        merge_policy="elapsed-intervals", max_elapsed_intervals=3
+    ),
+    "amplification": StreamingConfig(
+        merge_policy="amplification", max_amplification=0.3
+    ),
+}
+
+
+class TestStreamingEquivalence:
+    @pytest.mark.parametrize("policy", sorted(POLICY_CONFIGS))
+    def test_drained_stream_matches_reference(
+        self, policy, tiny_dataset, tiny_network, tiny_contact_config
+    ):
+        service = StreamingReachabilityService.for_dataset(
+            tiny_dataset,
+            contact_config=tiny_contact_config,
+            streaming_config=POLICY_CONFIGS[policy],
+        )
+        service.drain(tiny_dataset)
+        assert service.num_merges > 0, "policy thresholds should force merges"
+        for query in random_queries(tiny_dataset, count=50, seed=17):
+            expected = evaluate_reachability(tiny_network, query)
+            actual = service.query(query)
+            assert actual.reachable == expected.reachable, str(query)
+            if expected.reachable and actual.earliest_time is not None:
+                assert actual.earliest_time == expected.earliest_time, str(query)
+
+    @pytest.mark.parametrize("policy", sorted(POLICY_CONFIGS))
+    def test_mid_stream_queries_answer_over_prefix(
+        self, policy, tiny_dataset, tiny_contact_config
+    ):
+        service = StreamingReachabilityService.for_dataset(
+            tiny_dataset,
+            contact_config=tiny_contact_config,
+            streaming_config=POLICY_CONFIGS[policy],
+        )
+        workload = random_queries(tiny_dataset, count=12, seed=5)
+        source = DatasetReplaySource(tiny_dataset, batch_ticks=8)
+        for position, batch in enumerate(source.batches()):
+            service.ingest(batch)
+            if position % 4 != 2:
+                continue
+            prefix_window = TimeInterval(
+                tiny_dataset.horizon.start, service.watermark
+            )
+            prefix_network = build_contact_network(
+                tiny_dataset, TINY_THRESHOLD, window=prefix_window
+            )
+            for query in workload:
+                expected = evaluate_reachability(prefix_network, query)
+                actual = service.query(query)
+                assert actual.reachable == expected.reachable, (
+                    f"{query} at watermark {service.watermark}"
+                )
+
+    def test_queries_before_any_ingest(self, tiny_dataset, tiny_contact_config):
+        service = StreamingReachabilityService.for_dataset(
+            tiny_dataset, contact_config=tiny_contact_config
+        )
+        query = ReachabilityQuery(0, 1, TimeInterval(0, 10))
+        assert not service.query(query).reachable
+        same = ReachabilityQuery(3, 3, TimeInterval(0, 10))
+        result = service.query(same)
+        assert result.reachable and result.earliest_time == 0
+
+
+class TestStreamingService:
+    def test_cache_hits_and_invalidation(self, tiny_dataset, tiny_contact_config):
+        service = StreamingReachabilityService.for_dataset(
+            tiny_dataset, contact_config=tiny_contact_config
+        )
+        batches = list(DatasetReplaySource(tiny_dataset, batch_ticks=10).batches())
+        service.ingest(batches[0])
+        query = ReachabilityQuery(0, 1, TimeInterval(0, 50))
+        service.query(query)
+        service.query(query)
+        assert service.stats.cache_hits == 1
+        # Watermark advancement invalidates the cache.
+        service.ingest(batches[1])
+        service.query(query)
+        assert service.stats.cache_hits == 1
+        assert service.stats.cache_misses == 2
+
+    def test_cache_capacity_zero_disables_caching(
+        self, tiny_dataset, tiny_contact_config
+    ):
+        service = StreamingReachabilityService.for_dataset(
+            tiny_dataset,
+            contact_config=tiny_contact_config,
+            streaming_config=StreamingConfig(query_cache_size=0),
+        )
+        query = ReachabilityQuery(0, 1, TimeInterval(0, 20))
+        service.query(query)
+        service.query(query)
+        assert service.stats.cache_hits == 0
+
+    def test_ingest_accepts_bare_event_iterables(
+        self, tiny_dataset, tiny_contact_config
+    ):
+        service = StreamingReachabilityService.for_dataset(
+            tiny_dataset, contact_config=tiny_contact_config
+        )
+        events = [
+            SampleEvent.from_sample(trajectory.sample_at(0))
+            for trajectory in tiny_dataset
+        ]
+        assert service.ingest(events) == tiny_dataset.num_objects
+        assert service.watermark == 0
+
+    def test_merge_requires_data(self, tiny_dataset, tiny_contact_config):
+        service = StreamingReachabilityService.for_dataset(
+            tiny_dataset, contact_config=tiny_contact_config
+        )
+        with pytest.raises(StreamingError):
+            service.merge()
+
+    def test_forced_merge_clears_delta_and_enables_fast_path(
+        self, tiny_dataset, tiny_contact_config
+    ):
+        service = StreamingReachabilityService.for_dataset(
+            tiny_dataset,
+            contact_config=tiny_contact_config,
+            streaming_config=StreamingConfig(max_delta_contacts=10_000),
+        )
+        service.drain(tiny_dataset)
+        assert service.num_merges == 0
+        service.merge()
+        assert service.overlay.delta_size == 0
+        assert service.overlay.has_reachgraph
+        assert service.stats.snapshot_watermark == tiny_dataset.horizon.end
+
+    def test_engine_streaming_wiring(self, tiny_dataset, tiny_contact_config):
+        engine = ReachabilityEngine(tiny_dataset, contact_config=tiny_contact_config)
+        service = engine.streaming()
+        assert isinstance(service, StreamingReachabilityService)
+        assert service.contact_config is engine.contact_config
+        stats = service.drain(engine.dataset)
+        assert stats.events == tiny_dataset.num_objects * tiny_dataset.num_instants
+
+
+class TestStreamExperiment:
+    def test_stream_replay_driver_rows(self):
+        result = stream_replay(
+            dataset_names=("rwp-tiny",), num_queries=4, batch_ticks=16
+        )
+        assert len(result.rows) == 1
+        row = result.rows[0]
+        assert row["events"] == 8000
+        assert row["ingest_events_per_sec"] > 0
+        assert row["premerge_matches"] == "4/4"
+        assert row["postmerge_matches"] == "4/4"
