@@ -1,14 +1,16 @@
-"""Benchmark: streaming ingestion vs full-rebuild querying.
+"""Benchmark: streaming ingestion vs full-rebuild querying, and shard scaling.
 
 Replays a canned dataset through the streaming service and reports ingest
 throughput (events/sec) plus per-query IO in the two regimes the delta
 overlay creates: queries answered while the delta is live versus queries
-answered after a merge folded everything into the frozen ReachGraph.
+answered after a merge folded everything into the frozen ReachGraph.  The
+sharded benchmark drains the same stream through 1/2/4/8 ingestion shards and
+reports the scaling curve of events/sec and per-query cost.
 """
 
 from __future__ import annotations
 
-from repro.streaming.experiment import stream_replay
+from repro.streaming.experiment import sharded_stream_replay, stream_replay
 
 from conftest import run_experiment
 
@@ -29,3 +31,23 @@ def test_streaming_ingest_and_query(benchmark):
     # Streaming must agree with the batch reference evaluator in both regimes.
     assert row["premerge_matches"] == "12/12"
     assert row["postmerge_matches"] == "12/12"
+
+
+def test_sharded_scaling_curve(benchmark):
+    result = run_experiment(
+        benchmark,
+        sharded_stream_replay,
+        dataset_names=("rwp-small",),
+        shard_counts=(1, 2, 4, 8),
+        batch_ticks=8,
+        num_queries=12,
+    )
+    assert [row["shards"] for row in result.rows] == [1, 2, 4, 8]
+    events = {row["events"] for row in result.rows}
+    assert len(events) == 1, "every shard count must drain the same stream"
+    for row in result.rows:
+        assert row["ingest_events_per_sec"] > 0
+        assert row["mean_query_ms"] > 0
+        # Sharded answers must agree with the batch reference evaluator at
+        # every shard count (the cross-method equivalence contract).
+        assert row["matches"] == "12/12"

@@ -16,7 +16,8 @@ bidirectional within a single time instance, Property 5.1).
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Iterable, Optional, Set
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Set
 
 from ..core.types import ObjectId, QueryResult, ReachabilityQuery, TimeInstant, TimeInterval
 from ..contacts.network import Contact, ContactNetwork
@@ -34,41 +35,45 @@ def earliest_arrival(
 
     Only contacts whose validity overlaps ``interval`` are considered, and the
     item is released at ``interval.start``.  When ``destination`` is given the
-    sweep stops as soon as it is reached (early termination).
+    sweep stops as soon as the destination is *settled* (early termination).
+
+    A temporal Dijkstra: objects are settled in order of arrival time, and
+    transmission times never decrease along a path (``transmit >= carrier
+    arrival``), so a settled arrival is the true minimum — including under
+    early termination, and regardless of how contact validity intervals are
+    split (the streaming subsystem splits them at merge boundaries).
 
     Returns a mapping from object id to the earliest reach time; the source
     maps to ``interval.start``.
     """
-    arrival: Dict[ObjectId, TimeInstant] = {source: interval.start}
-    relevant = [c for c in contacts if c.validity.overlaps(interval)]
-    # Sort by validity start; a contact can hand the item over at any instant
-    # of its validity interval that is >= the carrier's arrival time.
-    relevant.sort(key=lambda c: c.validity.start)
+    by_object: Dict[ObjectId, List[Contact]] = defaultdict(list)
+    for contact in contacts:
+        if contact.validity.overlaps(interval):
+            by_object[contact.first].append(contact)
+            by_object[contact.second].append(contact)
 
-    changed = True
-    # A small fixed-point loop: a single pass in start order is not sufficient
-    # because a long-lived contact can transmit late (after one of its members
-    # is reached by a contact that *starts* later).  Each pass only adds
-    # strictly earlier/new arrivals, so the loop terminates quickly.
-    while changed:
-        changed = False
-        for contact in relevant:
+    arrival: Dict[ObjectId, TimeInstant] = {source: interval.start}
+    settled: Set[ObjectId] = set()
+    heap: List[tuple] = [(interval.start, source)]
+    while heap:
+        time, carrier = heapq.heappop(heap)
+        if carrier in settled:
+            continue  # a stale heap entry superseded by an earlier arrival
+        settled.add(carrier)
+        if destination is not None and carrier == destination:
+            return arrival
+        for contact in by_object[carrier]:
+            receiver = contact.other(carrier)
+            if receiver in settled:
+                continue
             lo = max(contact.validity.start, interval.start)
             hi = min(contact.validity.end, interval.end)
-            if lo > hi:
+            transmit_time = max(lo, time)
+            if transmit_time > hi:
                 continue
-            a, b = contact.first, contact.second
-            for carrier, receiver in ((a, b), (b, a)):
-                if carrier not in arrival:
-                    continue
-                transmit_time = max(lo, arrival[carrier])
-                if transmit_time > hi:
-                    continue
-                if receiver not in arrival or transmit_time < arrival[receiver]:
-                    arrival[receiver] = transmit_time
-                    changed = True
-                    if destination is not None and receiver == destination:
-                        return arrival
+            if receiver not in arrival or transmit_time < arrival[receiver]:
+                arrival[receiver] = transmit_time
+                heapq.heappush(heap, (transmit_time, receiver))
     return arrival
 
 

@@ -7,6 +7,8 @@ Usage::
     python -m repro.cli all --output out.txt # run everything, save the report
     python -m repro.cli figure14 --quick     # smaller workloads, faster run
     python -m repro.cli stream --quick       # streaming ingest vs batch rebuild
+    python -m repro.cli stream --shards 4    # ... on 4 ingestion shards
+    python -m repro.cli stream-sharded       # shard-count scaling curve
     python -m repro.cli table5 --json out.json  # machine-readable results too
 """
 
@@ -36,6 +38,13 @@ _QUICK_OVERRIDES = {
     "figure15": {"dataset_names": ("rwp-tiny", "vn-tiny"), "lengths": (50, 100, 200), "num_queries": 6},
     "table5": {"dataset_names": ("rwp-tiny", "vn-tiny"), "num_queries": 8, "query_length": 100},
     "stream": {"dataset_names": ("rwp-tiny",), "num_queries": 6},
+    "stream-sharded": {"dataset_names": ("rwp-tiny",), "num_queries": 6, "shard_counts": (1, 2, 4)},
+}
+
+#: How --shards N is injected, per experiment that understands sharding.
+_SHARD_KWARGS = {
+    "stream": lambda shards: {"shards": shards},
+    "stream-sharded": lambda shards: {"shard_counts": (shards,)},
 }
 
 
@@ -73,12 +82,24 @@ def build_parser() -> argparse.ArgumentParser:
             "or '-' to print the JSON to stdout after the text report"
         ),
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        metavar="N",
+        default=None,
+        help=(
+            "run streaming experiments with N ingestion shards "
+            f"(applies to: {', '.join(sorted(_SHARD_KWARGS))})"
+        ),
+    )
     return parser
 
 
-def _run_one(name: str, quick: bool):
+def _run_one(name: str, quick: bool, shards: Optional[int] = None):
     driver = EXPERIMENTS[name]
-    kwargs = _QUICK_OVERRIDES.get(name, {}) if quick else {}
+    kwargs = dict(_QUICK_OVERRIDES.get(name, {})) if quick else {}
+    if shards is not None and name in _SHARD_KWARGS:
+        kwargs.update(_SHARD_KWARGS[name](shards))
     return driver(**kwargs)
 
 
@@ -104,10 +125,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         return 2  # pragma: no cover - parser.error raises SystemExit
 
+    if args.shards is not None and args.shards <= 0:
+        parser.error("--shards must be positive")
     results = []
     for name in names:
         print(f"running {name} ...", file=sys.stderr)
-        results.append(_run_one(name, args.quick))
+        results.append(_run_one(name, args.quick, shards=args.shards))
     report = "\n\n".join(format_result(result) for result in results)
     print(report)
     if args.output:

@@ -68,6 +68,24 @@ class Contact:
         """True when the contact's validity interval contains ``t``."""
         return self.validity.contains(t)
 
+    def clipped(self, lo: TimeInstant, hi: TimeInstant) -> Optional["Contact"]:
+        """This contact restricted to ``[lo, hi]``, or ``None`` if none remains.
+
+        Returns ``self`` when the window already covers the validity interval.
+        Splitting or truncating a validity interval at any boundary is
+        lossless for reachability (transmission happens at single instants),
+        which is the invariant the streaming subsystem's watermark clipping —
+        snapshot boundaries, global low-watermarks — relies on.
+        """
+        if hi < lo:
+            return None
+        validity = self.validity.clipped(lo, hi)
+        if validity is None:
+            return None
+        if validity == self.validity:
+            return self
+        return Contact(self.first, self.second, validity)
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"c(o{self.first}, o{self.second}, {self.validity})"
 

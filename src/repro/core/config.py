@@ -26,6 +26,7 @@ __all__ = [
     "ContactConfig",
     "StreamingConfig",
     "MERGE_POLICIES",
+    "SHARD_ROUTERS",
     "DEFAULT_RESOLUTIONS",
 ]
 
@@ -158,6 +159,12 @@ class ReachGraphConfig:
 #: streaming subsystem (see :mod:`repro.streaming.policy`).
 MERGE_POLICIES: Tuple[str, ...] = ("delta-size", "elapsed-intervals", "amplification")
 
+#: Shard-router names understood by :class:`StreamingConfig` and the sharded
+#: ingestion layer (see :mod:`repro.streaming.router`): ``hash`` partitions
+#: the stream by object-id hash, ``spatial`` pins each object to the shard of
+#: the spatial grid cell it was first observed in.
+SHARD_ROUTERS: Tuple[str, ...] = ("hash", "spatial")
+
 
 @dataclass(frozen=True, slots=True)
 class StreamingConfig:
@@ -187,7 +194,19 @@ class StreamingConfig:
         the cache is invalidated whenever the watermark advances.
     build_reachgraph_on_merge:
         Whether a merge also rebuilds a ReachGraph index over the new
-        snapshot, giving post-merge queries the paper's fast path.
+        snapshot, giving post-merge queries the paper's fast path.  Ignored by
+        the sharded service, whose per-shard snapshots are never individually
+        authoritative (cross-shard contacts live outside every shard).
+    shards:
+        Number of ingestion shards.  ``1`` keeps the single
+        :class:`~repro.streaming.service.StreamingReachabilityService`;
+        anything larger makes :meth:`repro.ReachabilityEngine.streaming`
+        return a :class:`~repro.streaming.coordinator.ShardedReachabilityService`
+        partitioning the event stream across that many ingestors.
+    router:
+        One of :data:`SHARD_ROUTERS` — how sample events are partitioned
+        across shards (``hash``: by object-id hash; ``spatial``: sticky, by
+        the spatial grid cell of the object's first observed position).
     """
 
     batch_ticks: int = 8
@@ -197,6 +216,8 @@ class StreamingConfig:
     max_amplification: float = 0.5
     query_cache_size: int = 128
     build_reachgraph_on_merge: bool = True
+    shards: int = 1
+    router: str = "hash"
 
     def __post_init__(self) -> None:
         if self.batch_ticks <= 0:
@@ -214,10 +235,23 @@ class StreamingConfig:
             raise ConfigurationError("max_amplification must be positive")
         if self.query_cache_size < 0:
             raise ConfigurationError("query_cache_size must be non-negative")
+        if self.shards <= 0:
+            raise ConfigurationError("shards must be positive")
+        if self.router not in SHARD_ROUTERS:
+            raise ConfigurationError(
+                f"unknown shard router {self.router!r}; "
+                f"choose one of {', '.join(SHARD_ROUTERS)}"
+            )
 
     def with_merge_policy(self, policy: str) -> "StreamingConfig":
         """Copy of this config with a different merge policy."""
         return replace(self, merge_policy=policy)
+
+    def with_shards(self, shards: int, router: str | None = None) -> "StreamingConfig":
+        """Copy of this config with a different shard count (and router)."""
+        if router is None:
+            return replace(self, shards=shards)
+        return replace(self, shards=shards, router=router)
 
 
 @dataclass(frozen=True, slots=True)

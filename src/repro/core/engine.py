@@ -148,21 +148,45 @@ class ReachabilityEngine:
         self,
         streaming_config: StreamingConfig | None = None,
         grid_config: ReachGridConfig | None = None,
+        shards: int | None = None,
+        router: str | None = None,
     ):
-        """A :class:`~repro.streaming.service.StreamingReachabilityService`
-        configured like this engine (same contact and storage parameters).
+        """A streaming reachability service configured like this engine
+        (same contact and storage parameters).
 
-        The service starts empty; feed it with ``service.drain(engine.dataset)``
-        to replay this engine's dataset as a stream, or ingest batches from any
+        With one shard (the default) this is a
+        :class:`~repro.streaming.service.StreamingReachabilityService`; asking
+        for more — ``engine.streaming(shards=4)``, or a config with
+        ``shards > 1`` — returns a
+        :class:`~repro.streaming.coordinator.ShardedReachabilityService`
+        partitioning the stream across that many ingestors (``router`` picks
+        the partitioning, see ``SHARD_ROUTERS``).  Either way the service
+        starts empty; feed it with ``service.drain(engine.dataset)`` to replay
+        this engine's dataset as a stream, or ingest batches from any
         :mod:`repro.streaming.source`.
         """
+        config = streaming_config or StreamingConfig()
+        if shards is not None or router is not None:
+            config = config.with_shards(
+                config.shards if shards is None else shards, router=router
+            )
+        if config.shards > 1:
+            from ..streaming.coordinator import ShardedReachabilityService
+
+            return ShardedReachabilityService.for_dataset(
+                self.dataset,
+                contact_config=self.contact_config,
+                grid_config=grid_config,
+                streaming_config=config,
+                storage_config=self.storage_config,
+            )
         from ..streaming.service import StreamingReachabilityService
 
         return StreamingReachabilityService.for_dataset(
             self.dataset,
             contact_config=self.contact_config,
             grid_config=grid_config,
-            streaming_config=streaming_config,
+            streaming_config=config,
             storage_config=self.storage_config,
         )
 

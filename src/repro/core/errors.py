@@ -22,6 +22,8 @@ __all__ = [
     "InvalidIntervalError",
     "DatasetError",
     "StreamingError",
+    "WatermarkRegressionError",
+    "ShardingError",
 ]
 
 
@@ -99,3 +101,25 @@ class DatasetError(ReproError):
 class StreamingError(ReproError):
     """The event stream violates the ingestion contract (out-of-order batches,
     samples beyond the watermark, inconsistent object horizons...)."""
+
+
+class WatermarkRegressionError(StreamingError):
+    """A batch's watermark regressed below the ingestor's current watermark.
+
+    Accepting such a batch would re-open temporal grid intervals that were
+    already flushed to disk, so the ingestor rejects it before touching any
+    state (the batch can be corrected and re-sent).
+    """
+
+    def __init__(self, batch_watermark: int, current_watermark: int) -> None:
+        super().__init__(
+            f"batch watermark {batch_watermark} regressed below the "
+            f"current watermark {current_watermark}"
+        )
+        self.batch_watermark = batch_watermark
+        self.current_watermark = current_watermark
+
+
+class ShardingError(StreamingError):
+    """The sharded ingestion contract was violated (bad shard id, a sample
+    routed to the wrong shard, inconsistent per-shard watermarks...)."""

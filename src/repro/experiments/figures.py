@@ -673,6 +673,13 @@ def _stream_replay(**kwargs) -> ExperimentResult:
     return stream_replay(**kwargs)
 
 
+def _sharded_stream_replay(**kwargs) -> ExperimentResult:
+    """Sharded streaming ingest: throughput and query IO vs shard count."""
+    from ..streaming.experiment import sharded_stream_replay
+
+    return sharded_stream_replay(**kwargs)
+
+
 EXPERIMENTS = {
     "table1": table1_complexity,
     "figure8": figure8_grid_resolution,
@@ -688,4 +695,5 @@ EXPERIMENTS = {
     "figure15": figure15_cpu_time,
     "table5": table5_grail_comparison,
     "stream": _stream_replay,
+    "stream-sharded": _sharded_stream_replay,
 }

@@ -15,7 +15,14 @@ subpackage keeps the indexes queryable *while* data arrives:
 * :mod:`~repro.streaming.service` — the
   :class:`~repro.streaming.service.StreamingReachabilityService` facade
   (``ingest`` / ``query`` with an LRU result cache), also reachable through
-  :meth:`repro.ReachabilityEngine.streaming`.
+  :meth:`repro.ReachabilityEngine.streaming`;
+* :mod:`~repro.streaming.router` / :mod:`~repro.streaming.sharding` /
+  :mod:`~repro.streaming.coordinator` — scale-out: pluggable shard routers,
+  the :class:`~repro.streaming.sharding.ShardedStreamIngestor` with per-shard
+  watermarks plus a global low-watermark and a cross-shard contact join, and
+  the :class:`~repro.streaming.coordinator.ShardedReachabilityService`
+  fanning queries out across shard overlays
+  (``engine.streaming(shards=N)``).
 
 Quickstart
 ----------
@@ -30,9 +37,10 @@ True
 
 from __future__ import annotations
 
+from .coordinator import ShardedReachabilityService, ShardedStats
 from .delta import ContactSnapshotStore, DeltaGraph, ReachGraphDeltaOverlay
 from .events import ContactEvent, SampleEvent, StreamBatch
-from .experiment import stream_replay
+from .experiment import sharded_stream_replay, stream_replay
 from .ingest import StreamIngestor
 from .policy import (
     AmplificationPolicy,
@@ -42,7 +50,9 @@ from .policy import (
     MergePolicy,
     make_policy,
 )
-from .service import StreamingReachabilityService, StreamingStats
+from .router import HashRouter, ShardRouter, SpatialCellRouter, make_router
+from .service import QueryResultCache, StreamingReachabilityService, StreamingStats
+from .sharding import CrossShardContactTracker, ShardedStreamIngestor
 from .source import DatasetReplaySource, GeneratorReplaySource, StreamSource, replay
 
 __all__ = [
@@ -63,7 +73,17 @@ __all__ = [
     "ElapsedIntervalsPolicy",
     "AmplificationPolicy",
     "make_policy",
+    "ShardRouter",
+    "HashRouter",
+    "SpatialCellRouter",
+    "make_router",
+    "CrossShardContactTracker",
+    "ShardedStreamIngestor",
+    "ShardedReachabilityService",
+    "ShardedStats",
+    "QueryResultCache",
     "StreamingReachabilityService",
     "StreamingStats",
     "stream_replay",
+    "sharded_stream_replay",
 ]

@@ -1,0 +1,375 @@
+"""The sharded queryable facade: fan-in ingestion, fan-out querying.
+
+:class:`ShardedReachabilityService` is the scale-out counterpart of
+:class:`~repro.streaming.service.StreamingReachabilityService`: one
+:class:`~repro.streaming.service.StreamingReachabilityService` per shard
+(ingestor + snapshot/delta overlay, auto-merge disabled), glued together by a
+:class:`~repro.streaming.sharding.ShardedStreamIngestor` that routes batches,
+tracks per-shard watermarks, and joins cross-shard contacts through the
+global low-watermark.
+
+A query fans out across every shard overlay: each contributes its snapshot ∪
+delta ∪ open contacts overlapping the query interval (IO charged per shard
+and summed), the coordinator adds the cross-shard contacts, clips everything
+at the low-watermark — beyond it some shard's data is still incomplete — and
+runs the earliest-arrival sweep over the union.  Merges are triggered per
+shard by the configured merge policy, always freezing the prefix at the
+global low-watermark so a snapshot never claims instants another shard has
+not yet delivered.
+
+Correctness contract: at any point of the stream, ``query(q)`` returns the
+same verdict (and earliest reach time) as the batch ``reference`` evaluator
+over the contact network of the globally complete prefix
+``[origin, low_watermark]`` — for any shard count and router.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..core.config import (
+    ContactConfig,
+    ReachGridConfig,
+    StorageConfig,
+    StreamingConfig,
+)
+from ..core.errors import StreamingError
+from ..core.types import QueryResult, ReachabilityQuery, TimeInstant, TimeInterval
+from ..baselines.reference import earliest_arrival
+from ..contacts.network import Contact
+from ..trajectory.model import TrajectoryDataset
+from .events import SampleEvent, StreamBatch
+from .policy import make_policy
+from .router import ShardRouter, make_router
+from .service import QueryResultCache, StreamingReachabilityService
+from .sharding import ShardedStreamIngestor
+from .source import replay
+
+__all__ = ["ShardedReachabilityService", "ShardedStats"]
+
+
+@dataclass(frozen=True, slots=True)
+class ShardedStats:
+    """Counters describing the state of a sharded streaming service."""
+
+    shards: int
+    router: str
+    events: int
+    batches: int
+    merges: int
+    queries: int
+    cache_hits: int
+    cache_misses: int
+    low_watermark: Optional[TimeInstant]
+    watermarks: Tuple[Optional[TimeInstant], ...]
+    shard_events: Tuple[int, ...]
+    delta_contacts: int
+    snapshot_contacts: int
+    cross_shard_contacts: int
+    flushed_intervals: int
+    ingest_seconds: float
+
+    @property
+    def events_per_second(self) -> float:
+        """Ingest throughput over the life of the service."""
+        if self.ingest_seconds <= 0:
+            return 0.0
+        return self.events / self.ingest_seconds
+
+
+class ShardedReachabilityService:
+    """Accepts an ordered event stream across N shards, stays queryable."""
+
+    def __init__(
+        self,
+        environment_size: Tuple[float, float],
+        contact_config: ContactConfig | None = None,
+        grid_config: ReachGridConfig | None = None,
+        streaming_config: StreamingConfig | None = None,
+        storage_config: StorageConfig | None = None,
+        name: str = "sharded-stream",
+    ) -> None:
+        self.contact_config = contact_config or ContactConfig()
+        self.grid_config = grid_config or ReachGridConfig()
+        self.streaming_config = streaming_config or StreamingConfig()
+        self.name = name
+        num_shards = self.streaming_config.shards
+        # Per-shard stacks: the coordinator owns the query cache and triggers
+        # merges itself (bounded at the low-watermark), and per-shard
+        # ReachGraph fast paths are pointless — a shard's snapshot is never
+        # individually authoritative once contacts can span shards.
+        shard_config = replace(
+            self.streaming_config,
+            query_cache_size=0,
+            build_reachgraph_on_merge=False,
+        )
+        self._shards: List[StreamingReachabilityService] = [
+            StreamingReachabilityService(
+                environment_size,
+                contact_config=self.contact_config,
+                grid_config=self.grid_config,
+                streaming_config=shard_config,
+                storage_config=storage_config,
+                name=f"{name}-shard{index}",
+                auto_merge=False,
+            )
+            for index in range(num_shards)
+        ]
+        router = make_router(
+            self.streaming_config.router,
+            num_shards,
+            environment_size,
+            self.grid_config.spatial_resolution,
+        )
+        self._ingestor = ShardedStreamIngestor(
+            self._shards, router, self.contact_config.distance_threshold
+        )
+        self._policies = [make_policy(shard_config) for _ in range(num_shards)]
+        self._cache = QueryResultCache(self.streaming_config.query_cache_size)
+        self._queries = 0
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_dataset(
+        cls,
+        dataset: TrajectoryDataset,
+        contact_config: ContactConfig | None = None,
+        grid_config: ReachGridConfig | None = None,
+        streaming_config: StreamingConfig | None = None,
+        storage_config: StorageConfig | None = None,
+    ) -> "ShardedReachabilityService":
+        """A service sized for (but not yet fed with) a dataset's environment."""
+        return cls(
+            environment_size=dataset.environment_size,
+            contact_config=contact_config,
+            grid_config=grid_config,
+            streaming_config=streaming_config,
+            storage_config=storage_config,
+            name=f"{dataset.name}-sharded",
+        )
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def ingest(self, events: StreamBatch | Iterable[SampleEvent]) -> int:
+        """Route one batch across every shard, in lockstep.
+
+        A bare iterable of sample events is wrapped into a batch whose
+        watermark is its latest sample time.  All-or-nothing: a batch that
+        violates the ingestion contract leaves every shard unchanged.
+        """
+        batch = (
+            events
+            if isinstance(events, StreamBatch)
+            else StreamBatch.of(tuple(events))
+        )
+        before = self._ingestor.low_watermark
+        count = self._ingestor.ingest(batch)
+        if self._ingestor.low_watermark != before:
+            self._cache.clear()
+        self._maybe_merge_shards()
+        return count
+
+    def ingest_shard(self, shard_id: int, batch: StreamBatch) -> int:
+        """Deliver one shard's sub-batch independently (skewed delivery)."""
+        before = self._ingestor.low_watermark
+        count = self._ingestor.ingest_shard(shard_id, batch)
+        if self._ingestor.low_watermark != before:
+            self._cache.clear()
+        self._maybe_merge_shards()
+        return count
+
+    def route_batch(self, batch: StreamBatch) -> List[StreamBatch]:
+        """Split a batch into per-shard sub-batches (for skewed delivery)."""
+        return self._ingestor.route_batch(batch)
+
+    def drain(self, source) -> ShardedStats:
+        """Ingest an entire stream source (or dataset / canned name) to its end."""
+        if isinstance(source, (TrajectoryDataset, str)):
+            source = replay(source, batch_ticks=self.streaming_config.batch_ticks)
+        for batch in source.batches():
+            self.ingest(batch)
+        return self.stats
+
+    # ------------------------------------------------------------------
+    # merges
+    # ------------------------------------------------------------------
+    def _maybe_merge_shards(self) -> None:
+        low = self._ingestor.low_watermark
+        if low is None:
+            return
+        merged = False
+        for shard, policy in zip(self._shards, self._policies):
+            ingestor = shard.ingestor
+            if ingestor.origin is None or low < ingestor.origin:
+                continue  # shard has no data inside the frozen prefix yet
+            if shard.overlay.snapshot_watermark == low:
+                continue  # nothing new to freeze for this shard
+            if policy.should_merge(shard.merge_context(low_watermark=low)):
+                shard.merge(through=low)
+                merged = True
+        if merged:
+            self._cache.clear()
+
+    def merge(self) -> None:
+        """Force-merge every shard at the current global low-watermark."""
+        low = self._ingestor.low_watermark
+        if low is None:
+            raise StreamingError("nothing to merge: no shard has a watermark yet")
+        for shard in self._shards:
+            ingestor = shard.ingestor
+            if ingestor.origin is None or low < ingestor.origin:
+                continue
+            shard.merge(through=low)
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def query(self, query: ReachabilityQuery) -> QueryResult:
+        """Answer a query over the globally complete prefix.
+
+        Contacts beyond the low-watermark are clipped away: some shard has
+        not promised completeness there, so including them would let answers
+        depend on delivery skew instead of on data.
+        """
+        self._queries += 1
+        cached = self._cache.get(query)
+        if cached is not None:
+            return cached
+        result = self._evaluate(query)
+        self._cache.put(query, result)
+        return result
+
+    def _evaluate(self, query: ReachabilityQuery) -> QueryResult:
+        cpu_started = time.process_time()
+        interval = query.interval
+        low = self._ingestor.low_watermark
+        contacts: List[Contact] = []
+        io_total = 0.0
+        random_ios = 0
+        sequential_ios = 0
+        if low is not None:
+            for shard in self._shards:
+                overlay = shard.overlay
+                storage = overlay.storage
+                storage.reset_for_query()
+                io_before = storage.snapshot()
+                collected = overlay.collect_contacts(
+                    interval, open_contacts=shard.ingestor.open_contacts()
+                )
+                io_delta = storage.charge_since(io_before)
+                io_total += io_delta.normalized(storage.config.sequential_cost)
+                random_ios += io_delta.random_reads
+                sequential_ios += io_delta.sequential_reads
+                contacts.extend(self._clip(collected, low, interval))
+            contacts.extend(
+                self._clip(self._ingestor.cross_shard_contacts(), low, interval)
+            )
+
+        if query.source == query.destination:
+            reachable, earliest = True, interval.start
+        else:
+            arrival = earliest_arrival(
+                contacts, query.source, interval, destination=query.destination
+            )
+            earliest = arrival.get(query.destination)
+            reachable = earliest is not None
+
+        return QueryResult(
+            reachable=reachable,
+            earliest_time=earliest,
+            io=io_total,
+            random_ios=random_ios,
+            sequential_ios=sequential_ios,
+            cpu_seconds=time.process_time() - cpu_started,
+            visited=len(contacts),
+        )
+
+    @staticmethod
+    def _clip(
+        contacts: Sequence[Contact], low: TimeInstant, interval: TimeInterval
+    ) -> List[Contact]:
+        """Clip contacts at the low-watermark, keeping interval-relevant ones."""
+        clipped: List[Contact] = []
+        for contact in contacts:
+            bounded = contact.clipped(contact.validity.start, low)
+            if bounded is not None and bounded.validity.overlaps(interval):
+                clipped.append(bounded)
+        return clipped
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        """Number of ingestion shards."""
+        return self._ingestor.num_shards
+
+    @property
+    def router(self) -> ShardRouter:
+        """The shard router partitioning the stream."""
+        return self._ingestor.router
+
+    @property
+    def ingestor(self) -> ShardedStreamIngestor:
+        """The sharded ingestor (routing, watermarks, cross-shard tracker)."""
+        return self._ingestor
+
+    @property
+    def shard_services(self) -> List[StreamingReachabilityService]:
+        """The per-shard service stacks, in shard order."""
+        return list(self._shards)
+
+    @property
+    def low_watermark(self) -> Optional[TimeInstant]:
+        """Minimum per-shard watermark: the end of the answerable prefix."""
+        return self._ingestor.low_watermark
+
+    @property
+    def watermark(self) -> Optional[TimeInstant]:
+        """Alias for :attr:`low_watermark` (the single-service interface)."""
+        return self._ingestor.low_watermark
+
+    @property
+    def watermarks(self) -> Tuple[Optional[TimeInstant], ...]:
+        """Per-shard watermarks, in shard order."""
+        return self._ingestor.watermarks
+
+    @property
+    def num_merges(self) -> int:
+        """Merges performed across all shards."""
+        return sum(shard.num_merges for shard in self._shards)
+
+    @property
+    def stats(self) -> ShardedStats:
+        """A snapshot of the coordinator's counters."""
+        return ShardedStats(
+            shards=self.num_shards,
+            router=self.router.name,
+            events=self._ingestor.num_events,
+            batches=self._ingestor.num_batches,
+            merges=self.num_merges,
+            queries=self._queries,
+            cache_hits=self._cache.hits,
+            cache_misses=self._cache.misses,
+            low_watermark=self._ingestor.low_watermark,
+            watermarks=self._ingestor.watermarks,
+            shard_events=self._ingestor.shard_events,
+            delta_contacts=sum(s.overlay.delta_size for s in self._shards),
+            snapshot_contacts=sum(s.overlay.snapshot_size for s in self._shards),
+            cross_shard_contacts=self._ingestor.tracker.num_closed_contacts,
+            flushed_intervals=self._ingestor.num_flushed_intervals,
+            ingest_seconds=self._ingestor.ingest_seconds,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedReachabilityService(name={self.name!r}, "
+            f"shards={self.num_shards}, router={self.router.name!r}, "
+            f"low_watermark={self.low_watermark}, merges={self.num_merges})"
+        )

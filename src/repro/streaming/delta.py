@@ -165,12 +165,8 @@ class ReachGraphDeltaOverlay:
     def _clip_past_snapshot(self, contact: Contact) -> Optional[Contact]:
         if self._snapshot_watermark is None:
             return contact
-        if contact.validity.end <= self._snapshot_watermark:
-            return None  # entirely covered by the snapshot
-        start = max(contact.validity.start, self._snapshot_watermark + 1)
-        return Contact(
-            contact.first, contact.second, TimeInterval(start, contact.validity.end)
-        )
+        # None when entirely covered by the snapshot.
+        return contact.clipped(self._snapshot_watermark + 1, contact.validity.end)
 
     # ------------------------------------------------------------------
     # merges
@@ -245,9 +241,34 @@ class ReachGraphDeltaOverlay:
         """True when the snapshot carries a ReachGraph fast path."""
         return self._processor is not None
 
+    @property
+    def storage(self) -> StorageSystem:
+        """The storage system charged for this overlay's snapshot reads."""
+        return self._storage
+
     # ------------------------------------------------------------------
     # query evaluation
     # ------------------------------------------------------------------
+    def collect_contacts(
+        self, interval: TimeInterval, open_contacts: Sequence[Contact] = ()
+    ) -> List[Contact]:
+        """Every snapshot ∪ delta ∪ open contact overlapping ``interval``.
+
+        Snapshot contacts are read from disk (IO charged to this overlay's
+        storage system); ``open_contacts`` are clipped past the snapshot
+        watermark so nothing is counted twice.  The sharded coordinator unions
+        the result across shard overlays before running the arrival sweep.
+        """
+        contacts: List[Contact] = []
+        if self._store is not None:
+            contacts.extend(self._store.read_overlapping(interval))
+        contacts.extend(self._delta.contacts_overlapping(interval))
+        for contact in open_contacts:
+            clipped = self._clip_past_snapshot(contact)
+            if clipped is not None and clipped.validity.overlaps(interval):
+                contacts.append(clipped)
+        return contacts
+
     def evaluate(
         self, query: ReachabilityQuery, open_contacts: Sequence[Contact] = ()
     ) -> QueryResult:
@@ -276,11 +297,7 @@ class ReachGraphDeltaOverlay:
         cpu_started = time.process_time()
         self._storage.reset_for_query()
         io_before = self._storage.snapshot()
-        contacts: List[Contact] = []
-        if self._store is not None:
-            contacts.extend(self._store.read_overlapping(interval))
-        contacts.extend(delta_relevant)
-        contacts.extend(open_relevant)
+        contacts = self.collect_contacts(interval, open_contacts=open_contacts)
 
         if query.source == query.destination:
             reachable, earliest = True, interval.start

@@ -28,7 +28,7 @@ import time
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..core.config import ContactConfig, ReachGridConfig, StorageConfig
-from ..core.errors import StreamingError
+from ..core.errors import StreamingError, WatermarkRegressionError
 from ..core.types import ObjectId, Point, TimeInstant, TimeInterval
 from ..contacts.join import pairs_within_distance
 from ..contacts.network import Contact
@@ -123,25 +123,60 @@ class StreamIngestor:
     # ------------------------------------------------------------------
     # ingestion
     # ------------------------------------------------------------------
-    def ingest(self, batch: StreamBatch) -> int:
+    def ingest(self, batch: StreamBatch, prevalidated: bool = False) -> int:
         """Consume one batch: buffer samples, advance the watermark.
 
         Returns the number of sample events ingested.  Batches must arrive in
         non-decreasing watermark order; samples must not be late (at or below
-        the previous watermark) or duplicated.
+        the previous watermark) or duplicated.  Ingestion is atomic: the whole
+        batch is validated before any state is touched, so a rejected batch
+        (:class:`WatermarkRegressionError`, a late sample, a dense-horizon
+        break) leaves the ingestor exactly as it was and can be corrected and
+        re-sent.  ``prevalidated`` promises the caller *just* ran
+        :meth:`validate_batch` on this batch (the sharded coordinator
+        validates every shard's sub-batch before feeding any shard) and skips
+        the re-check.
         """
         started = time.perf_counter()
-        if self._watermark is not None and batch.watermark < self._watermark:
-            raise StreamingError(
-                f"batch watermark {batch.watermark} regressed below the "
-                f"current watermark {self._watermark}"
-            )
+        if not prevalidated:
+            self.validate_batch(batch)
         for event in batch.samples:
             self._buffer_sample(event)
         self._advance_watermark(batch.watermark)
         self._num_events += len(batch.samples)
         self._ingest_seconds += time.perf_counter() - started
         return len(batch.samples)
+
+    def validate_batch(self, batch: StreamBatch) -> None:
+        """Check a batch against the ingestion contract without mutating state.
+
+        Raises :class:`~repro.core.errors.WatermarkRegressionError` when the
+        batch's watermark lies below the current watermark (accepting it would
+        corrupt the interval flushing already performed), and
+        :class:`~repro.core.errors.StreamingError` for late samples or samples
+        that break an object's dense horizon.  A batch that validates cleanly
+        is guaranteed to be accepted in full by :meth:`ingest`.
+        """
+        if self._watermark is not None and batch.watermark < self._watermark:
+            raise WatermarkRegressionError(batch.watermark, self._watermark)
+        expected: Dict[ObjectId, TimeInstant] = {}
+        for event in batch.samples:
+            if self._watermark is not None and event.time <= self._watermark:
+                raise StreamingError(
+                    f"late sample for object {event.object_id} at t={event.time} "
+                    f"(watermark already at {self._watermark})"
+                )
+            next_time = expected.get(event.object_id)
+            if next_time is None:
+                positions = self._positions.get(event.object_id)
+                if positions is not None:
+                    next_time = self._starts[event.object_id] + len(positions)
+            if next_time is not None and event.time != next_time:
+                raise StreamingError(
+                    f"object {event.object_id} sample at t={event.time} breaks "
+                    f"its dense horizon (expected t={next_time})"
+                )
+            expected[event.object_id] = event.time + 1
 
     def ingest_all(self, batches: Iterable[StreamBatch]) -> int:
         """Consume every batch of a stream source; returns total events."""
@@ -151,22 +186,12 @@ class StreamIngestor:
         return total
 
     def _buffer_sample(self, event: SampleEvent) -> None:
-        if self._watermark is not None and event.time <= self._watermark:
-            raise StreamingError(
-                f"late sample for object {event.object_id} at t={event.time} "
-                f"(watermark already at {self._watermark})"
-            )
+        # Contract checks already ran in validate_batch; this is pure mutation.
         positions = self._positions.get(event.object_id)
         if positions is None:
             self._positions[event.object_id] = [event.position]
             self._starts[event.object_id] = event.time
         else:
-            expected = self._starts[event.object_id] + len(positions)
-            if event.time != expected:
-                raise StreamingError(
-                    f"object {event.object_id} sample at t={event.time} breaks "
-                    f"its dense horizon (expected t={expected})"
-                )
             positions.append(event.position)
         self._pending.setdefault(event.time, {})[event.object_id] = event.position
 
@@ -259,13 +284,20 @@ class StreamIngestor:
         """
         return self._closed[start:]
 
-    def open_contacts(self) -> List[Contact]:
-        """Contacts still open, clipped to the current watermark."""
+    def open_contacts(self, through: TimeInstant | None = None) -> List[Contact]:
+        """Contacts still open, clipped to the current watermark.
+
+        With ``through`` the clip bound is ``min(watermark, through)`` and
+        runs opening after ``through`` are dropped — the view a coordinator
+        needs when a global low-watermark trails this shard's watermark.
+        """
         if self._watermark is None:
             return []
+        bound = self._watermark if through is None else min(self._watermark, through)
         return [
-            Contact(pair[0], pair[1], TimeInterval(start, self._watermark))
+            Contact(pair[0], pair[1], TimeInterval(start, bound))
             for pair, start in self._open.items()
+            if start <= bound
         ]
 
     def contacts_through_watermark(self) -> List[Contact]:
@@ -275,6 +307,24 @@ class StreamIngestor:
         contact network a batch build over the ingested prefix would produce.
         """
         return self._closed + self.open_contacts()
+
+    def contacts_through(self, through: TimeInstant) -> List[Contact]:
+        """Every contact of the bounded prefix ``[origin, through]``.
+
+        Like :meth:`contacts_through_watermark` but clipped at ``through``
+        (which may trail the watermark): closed contacts starting later are
+        dropped, ones straddling the bound are clipped, and open runs are
+        clipped to ``min(watermark, through)``.  Splitting at the bound is
+        lossless for reachability, so this equals the contact network of a
+        batch build over ``[origin, through]`` up to interval splitting.
+        """
+        clipped: List[Contact] = []
+        for contact in self._closed:
+            bounded = contact.clipped(contact.validity.start, through)
+            if bounded is not None:
+                clipped.append(bounded)
+        clipped.extend(self.open_contacts(through=through))
+        return clipped
 
     # ------------------------------------------------------------------
     # grid introspection (used by tests and the benchmark)
@@ -309,16 +359,28 @@ class StreamIngestor:
     # ------------------------------------------------------------------
     # prefix materialization (used by merges)
     # ------------------------------------------------------------------
-    def prefix_dataset(self, name: str | None = None) -> TrajectoryDataset:
+    def prefix_dataset(
+        self,
+        name: str | None = None,
+        through: TimeInstant | None = None,
+    ) -> TrajectoryDataset:
         """Materialize the ingested prefix as a frozen trajectory dataset.
 
         Requires every observed object to cover the full prefix
         ``[origin, watermark]`` (the replay sources guarantee this); the
-        merge path uses the result to rebuild snapshot indexes.
+        merge path uses the result to rebuild snapshot indexes.  ``through``
+        bounds the materialized prefix at an earlier instant — the sharded
+        coordinator merges each shard at the global low-watermark, which may
+        trail this shard's own watermark.
         """
         if self._watermark is None or self._origin is None:
             raise StreamingError("cannot materialize an empty stream prefix")
-        expected_length = self._watermark - self._origin + 1
+        end = self._watermark if through is None else min(self._watermark, through)
+        if end < self._origin:
+            raise StreamingError(
+                f"prefix bound {end} lies before the stream origin {self._origin}"
+            )
+        expected_length = end - self._origin + 1
         trajectories = []
         for object_id in sorted(self._positions):
             start = self._starts[object_id]
@@ -326,7 +388,7 @@ class StreamIngestor:
             if start != self._origin or len(positions) < expected_length:
                 raise StreamingError(
                     f"object {object_id} does not cover the prefix "
-                    f"[{self._origin}, {self._watermark}]"
+                    f"[{self._origin}, {end}]"
                 )
             trajectories.append(
                 Trajectory(object_id, positions[:expected_length], start_time=start)
@@ -334,7 +396,7 @@ class StreamIngestor:
         return TrajectoryDataset(
             trajectories,
             environment_size=self.environment_size,
-            name=name or f"{self.name}-prefix{self._watermark}",
+            name=name or f"{self.name}-prefix{end}",
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

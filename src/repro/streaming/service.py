@@ -35,7 +35,54 @@ from .ingest import StreamIngestor
 from .policy import MergeContext, make_policy
 from .source import replay
 
-__all__ = ["StreamingReachabilityService", "StreamingStats"]
+__all__ = ["QueryResultCache", "StreamingReachabilityService", "StreamingStats"]
+
+
+class QueryResultCache:
+    """A small LRU cache of query results with hit/miss accounting.
+
+    Shared by the single-shard service and the sharded coordinator; a
+    ``capacity`` of 0 disables caching entirely (every lookup is a miss that
+    is not counted).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._entries: "OrderedDict[ReachabilityQuery, QueryResult]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def enabled(self) -> bool:
+        """True when the cache actually stores results."""
+        return self.capacity > 0
+
+    def get(self, query: ReachabilityQuery) -> Optional[QueryResult]:
+        """The cached result for ``query``, bumping its recency, or ``None``."""
+        if not self.enabled:
+            return None
+        cached = self._entries.get(query)
+        if cached is not None:
+            self._entries.move_to_end(query)
+            self.hits += 1
+            return cached
+        self.misses += 1
+        return None
+
+    def put(self, query: ReachabilityQuery, result: QueryResult) -> None:
+        """Store a result, evicting least-recently-used entries past capacity."""
+        if not self.enabled:
+            return
+        self._entries[query] = result
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (hit/miss counters are kept)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 @dataclass(frozen=True, slots=True)
@@ -74,11 +121,15 @@ class StreamingReachabilityService:
         streaming_config: StreamingConfig | None = None,
         storage_config: StorageConfig | None = None,
         name: str = "stream",
+        auto_merge: bool = True,
     ) -> None:
         self.contact_config = contact_config or ContactConfig()
         self.grid_config = grid_config or ReachGridConfig()
         self.streaming_config = streaming_config or StreamingConfig()
         self.name = name
+        # The sharded coordinator turns auto_merge off and triggers per-shard
+        # merges itself, bounded at the global low-watermark.
+        self.auto_merge = auto_merge
         self._ingestor = StreamIngestor(
             environment_size,
             contact_config=self.contact_config,
@@ -90,14 +141,12 @@ class StreamingReachabilityService:
         # is not polluted by the ingestor's ongoing grid writes.
         self._overlay = ReachGraphDeltaOverlay(StorageSystem(storage_config))
         self._policy = make_policy(self.streaming_config)
-        self._cache: "OrderedDict[ReachabilityQuery, QueryResult]" = OrderedDict()
+        self._cache = QueryResultCache(self.streaming_config.query_cache_size)
         self._consumed_closed = 0
         self._intervals_at_merge = 0
         self._batches = 0
         self._merges = 0
         self._queries = 0
-        self._cache_hits = 0
-        self._cache_misses = 0
 
     # ------------------------------------------------------------------
     # constructors
@@ -124,12 +173,18 @@ class StreamingReachabilityService:
     # ------------------------------------------------------------------
     # ingestion
     # ------------------------------------------------------------------
-    def ingest(self, events: StreamBatch | Iterable[SampleEvent]) -> int:
+    def ingest(
+        self,
+        events: StreamBatch | Iterable[SampleEvent],
+        prevalidated: bool = False,
+    ) -> int:
         """Ingest one batch (or a bare iterable of sample events).
 
         A bare iterable is wrapped into a batch whose watermark is its latest
         sample time.  Returns the number of events ingested; afterwards the
         service is immediately queryable at the new watermark.
+        ``prevalidated`` is forwarded to the ingestor (see
+        :meth:`StreamIngestor.ingest`).
         """
         batch = (
             events
@@ -137,12 +192,13 @@ class StreamingReachabilityService:
             else StreamBatch.of(tuple(events))
         )
         before = self._ingestor.watermark
-        count = self._ingestor.ingest(batch)
+        count = self._ingestor.ingest(batch, prevalidated=prevalidated)
         self._batches += 1
         self._sync_delta()
         if self._ingestor.watermark != before:
             self._cache.clear()
-        self._maybe_merge()
+        if self.auto_merge:
+            self._maybe_merge()
         return count
 
     def drain(self, source) -> StreamingStats:
@@ -158,7 +214,8 @@ class StreamingReachabilityService:
             self._overlay.add_contact(contact)
         self._consumed_closed = self._ingestor.num_closed_contacts
 
-    def _merge_context(self) -> MergeContext:
+    def merge_context(self, low_watermark: Optional[TimeInstant] = None) -> MergeContext:
+        """The :class:`MergeContext` a merge policy would see right now."""
         return MergeContext(
             delta_contacts=self._overlay.delta_size,
             snapshot_contacts=self._overlay.snapshot_size,
@@ -166,34 +223,47 @@ class StreamingReachabilityService:
             - self._intervals_at_merge,
             watermark=self._ingestor.watermark,
             snapshot_watermark=self._overlay.snapshot_watermark,
+            low_watermark=low_watermark,
         )
 
     def _maybe_merge(self) -> None:
         watermark = self._ingestor.watermark
         if watermark is None or watermark == self._overlay.snapshot_watermark:
             return
-        if self._policy.should_merge(self._merge_context()):
+        if self._policy.should_merge(self.merge_context()):
             self.merge()
 
-    def merge(self) -> None:
-        """Fold the delta into a fresh snapshot over the full ingested prefix.
+    def merge(self, through: Optional[TimeInstant] = None) -> None:
+        """Fold the delta into a fresh snapshot over the ingested prefix.
 
         Normally triggered by the merge policy; exposed so callers can force a
-        merge (e.g. before a read-heavy phase).
+        merge (e.g. before a read-heavy phase).  ``through`` bounds the frozen
+        prefix at an earlier instant than the watermark (the sharded
+        coordinator passes the global low-watermark); closed contacts
+        extending past the bound stay in the delta, clipped at the boundary.
         """
         watermark = self._ingestor.watermark
         if watermark is None:
             raise StreamingError("nothing to merge: no batch ingested yet")
-        prefix = self._ingestor.prefix_dataset()
-        contacts = self._ingestor.contacts_through_watermark()
+        bound = watermark if through is None else min(through, watermark)
+        self._sync_delta()
+        prefix = self._ingestor.prefix_dataset(through=bound)
+        contacts = self._ingestor.contacts_through(bound)
         self._overlay.install_snapshot(
             prefix,
             contacts,
-            watermark=watermark,
+            watermark=bound,
             temporal_resolution=self.grid_config.temporal_resolution,
             distance_threshold=self.contact_config.distance_threshold,
             build_reachgraph=self.streaming_config.build_reachgraph_on_merge,
         )
+        if bound < watermark:
+            # install_snapshot emptied the delta, but closed contacts past the
+            # bound are not in the snapshot — re-stage their unfrozen halves
+            # (add_contact clips them at the new snapshot watermark).
+            for contact in self._ingestor.closed_contacts:
+                if contact.validity.end > bound:
+                    self._overlay.add_contact(contact)
         self._intervals_at_merge = self._ingestor.num_flushed_intervals
         self._merges += 1
         self._cache.clear()
@@ -204,21 +274,13 @@ class StreamingReachabilityService:
     def query(self, query: ReachabilityQuery) -> QueryResult:
         """Answer a reachability query over everything ingested so far."""
         self._queries += 1
-        capacity = self.streaming_config.query_cache_size
-        if capacity > 0:
-            cached = self._cache.get(query)
-            if cached is not None:
-                self._cache.move_to_end(query)
-                self._cache_hits += 1
-                return cached
-            self._cache_misses += 1
+        cached = self._cache.get(query)
+        if cached is not None:
+            return cached
         result = self._overlay.evaluate(
             query, open_contacts=self._ingestor.open_contacts()
         )
-        if capacity > 0:
-            self._cache[query] = result
-            while len(self._cache) > capacity:
-                self._cache.popitem(last=False)
+        self._cache.put(query, result)
         return result
 
     # ------------------------------------------------------------------
@@ -252,8 +314,8 @@ class StreamingReachabilityService:
             batches=self._batches,
             merges=self._merges,
             queries=self._queries,
-            cache_hits=self._cache_hits,
-            cache_misses=self._cache_misses,
+            cache_hits=self._cache.hits,
+            cache_misses=self._cache.misses,
             watermark=self._ingestor.watermark,
             snapshot_watermark=self._overlay.snapshot_watermark,
             delta_contacts=self._overlay.delta_size,

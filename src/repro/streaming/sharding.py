@@ -1,0 +1,313 @@
+"""Sharded stream ingestion: N ingestors, per-shard watermarks, one truth.
+
+:class:`ShardedStreamIngestor` scales the ingestion path out by partitioning
+the event stream across several :class:`~repro.streaming.ingest.StreamIngestor`
+instances (one grid memtable, contact join, and blockfile each) through a
+pluggable :class:`~repro.streaming.router.ShardRouter`.  Each shard advances
+its own watermark; the **global low-watermark** — the minimum over all
+per-shard watermarks — is the largest instant through which *every* shard's
+data is complete, and therefore the only sound bound for cross-shard answers
+and frozen-prefix merges.
+
+Because routing is sticky per object, a shard's incremental join sees every
+contact between two of *its own* objects, but a pair spanning two shards is
+invisible to both.  :class:`CrossShardContactTracker` closes that gap: it
+buffers the positions of every routed sample and, whenever the low-watermark
+advances, runs the same grid-hash join the shards run — keeping only pairs
+whose objects live on different shards — so the union
+
+``(intra-shard contacts of every shard) ∪ (cross-shard contacts)``
+
+covers exactly the contact network of the globally complete prefix.  In a
+real deployment the tracker would be fed only boundary-cell positions by each
+shard; the simulation keeps every position, trading memory for the same
+answers.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..core.errors import ShardingError, StreamingError
+from ..core.types import ObjectId, Point, TimeInstant, TimeInterval
+from ..contacts.join import pairs_within_distance
+from ..contacts.network import Contact
+from .events import SampleEvent, StreamBatch
+from .ingest import StreamIngestor
+from .router import ShardRouter
+
+__all__ = ["CrossShardContactTracker", "ShardedStreamIngestor"]
+
+#: A shard sink is either a bare ingestor or anything owning one through an
+#: ``.ingestor`` attribute (the streaming service does), with ``.ingest``.
+ShardSink = Union[StreamIngestor, object]
+
+
+class CrossShardContactTracker:
+    """The incremental contact join restricted to pairs spanning two shards.
+
+    Mirrors the open/closed run bookkeeping of
+    :class:`~repro.streaming.ingest.StreamIngestor`, but is driven by the
+    global low-watermark instead of a single shard's watermark: tick ``t`` is
+    joined only once every shard has promised completeness through ``t``.
+    """
+
+    def __init__(self, router: ShardRouter, distance_threshold: float) -> None:
+        if distance_threshold <= 0:
+            raise StreamingError("distance_threshold must be positive")
+        self._router = router
+        self._threshold = distance_threshold
+        self._pending: Dict[TimeInstant, Dict[ObjectId, Point]] = {}
+        self._processed: Optional[TimeInstant] = None
+        self._origin: Optional[TimeInstant] = None
+        self._previous_pairs: Set[Tuple[ObjectId, ObjectId]] = set()
+        self._open: Dict[Tuple[ObjectId, ObjectId], TimeInstant] = {}
+        self._closed: List[Contact] = []
+
+    def observe(self, samples: Sequence[SampleEvent]) -> None:
+        """Buffer routed samples until their tick falls under the low-watermark."""
+        for event in samples:
+            self._pending.setdefault(event.time, {})[event.object_id] = event.position
+
+    def advance(self, low_watermark: Optional[TimeInstant]) -> None:
+        """Join every buffered tick that the low-watermark has made complete."""
+        if low_watermark is None:
+            return
+        if self._origin is None:
+            if not self._pending:
+                return
+            self._origin = min(self._pending)
+        first = self._origin if self._processed is None else self._processed + 1
+        for t in range(first, low_watermark + 1):
+            self._process_tick(t)
+        if self._processed is None or low_watermark > self._processed:
+            self._processed = low_watermark
+
+    def _process_tick(self, t: TimeInstant) -> None:
+        positions = self._pending.pop(t, {})
+        current: Set[Tuple[ObjectId, ObjectId]] = set()
+        if positions and self._router.num_shards > 1:
+            for pair in pairs_within_distance(positions, self._threshold):
+                if self._router.shard_of(pair[0]) != self._router.shard_of(pair[1]):
+                    current.add(pair)
+        for pair in self._previous_pairs - current:
+            start = self._open.pop(pair)
+            self._closed.append(Contact(pair[0], pair[1], TimeInterval(start, t - 1)))
+        for pair in current - self._previous_pairs:
+            self._open[pair] = t
+        self._previous_pairs = current
+
+    @property
+    def processed_through(self) -> Optional[TimeInstant]:
+        """Last tick the cross-shard join has evaluated."""
+        return self._processed
+
+    @property
+    def closed_contacts(self) -> List[Contact]:
+        """Cross-shard contacts whose pairs have separated, in close order."""
+        return list(self._closed)
+
+    @property
+    def num_closed_contacts(self) -> int:
+        """Number of closed cross-shard contacts so far."""
+        return len(self._closed)
+
+    def open_contacts(self) -> List[Contact]:
+        """Cross-shard contacts still open, clipped to the processed tick."""
+        if self._processed is None:
+            return []
+        return [
+            Contact(pair[0], pair[1], TimeInterval(start, self._processed))
+            for pair, start in self._open.items()
+        ]
+
+    def contacts_through_low(self) -> List[Contact]:
+        """Every cross-shard contact of the globally complete prefix."""
+        return self._closed + self.open_contacts()
+
+
+class ShardedStreamIngestor:
+    """Partitions one event stream across N shard ingestors.
+
+    ``sinks`` may be bare :class:`StreamIngestor` instances or richer objects
+    (e.g. per-shard streaming services) exposing ``ingest(batch)`` and an
+    ``ingestor`` attribute; feeding through the sink keeps any per-sink state
+    (delta sync, caches) consistent.  Two delivery modes are supported:
+
+    * :meth:`ingest` — lockstep: one global batch is routed into per-shard
+      sub-batches that all carry the batch's watermark, validated against
+      every shard *before* any shard is touched (all-or-nothing), then fed.
+    * :meth:`route_batch` + :meth:`ingest_shard` — decoupled: sub-batches are
+      delivered per shard in any interleaving (each shard still in watermark
+      order), letting shards skew; the low-watermark trails the laggard.
+    """
+
+    def __init__(
+        self,
+        sinks: Sequence[ShardSink],
+        router: ShardRouter,
+        distance_threshold: float,
+    ) -> None:
+        if not sinks:
+            raise ShardingError("a sharded ingestor needs at least one shard")
+        if router.num_shards != len(sinks):
+            raise ShardingError(
+                f"router is sized for {router.num_shards} shards "
+                f"but {len(sinks)} sinks were provided"
+            )
+        self._sinks = list(sinks)
+        self._ingestors: List[StreamIngestor] = [
+            sink if isinstance(sink, StreamIngestor) else sink.ingestor
+            for sink in self._sinks
+        ]
+        self.router = router
+        self._tracker = CrossShardContactTracker(router, distance_threshold)
+        self._batches = 0
+        self._ingest_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        """Number of ingestion shards."""
+        return len(self._sinks)
+
+    @property
+    def shards(self) -> List[StreamIngestor]:
+        """The per-shard ingestors, in shard order."""
+        return list(self._ingestors)
+
+    def route_batch(self, batch: StreamBatch) -> List[StreamBatch]:
+        """Split a batch into one sub-batch per shard (same watermark).
+
+        Every shard gets a sub-batch — an empty one still advances that
+        shard's watermark, which is what keeps the low-watermark moving.
+        """
+        per_shard: List[List[SampleEvent]] = [[] for _ in self._sinks]
+        for event in batch.samples:
+            per_shard[self.router.assign(event)].append(event)
+        return [
+            StreamBatch(tuple(samples), watermark=batch.watermark)
+            for samples in per_shard
+        ]
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def ingest(self, batch: StreamBatch) -> int:
+        """Route one global batch to every shard, in lockstep.
+
+        The routed sub-batches are validated against all shards before any
+        shard mutates, so a rejected batch (watermark regression, late or
+        horizon-breaking samples) leaves the whole sharded ingestor unchanged.
+        """
+        started = time.perf_counter()
+        sub_batches = self.route_batch(batch)
+        for ingestor, sub in zip(self._ingestors, sub_batches):
+            ingestor.validate_batch(sub)
+        for sink, sub in zip(self._sinks, sub_batches):
+            sink.ingest(sub, prevalidated=True)
+        self._tracker.observe(batch.samples)
+        self._tracker.advance(self.low_watermark)
+        self._batches += 1
+        self._ingest_seconds += time.perf_counter() - started
+        return len(batch.samples)
+
+    def ingest_shard(self, shard_id: int, batch: StreamBatch) -> int:
+        """Deliver one shard's sub-batch independently (skewed delivery).
+
+        ``batch`` must contain only samples that route to ``shard_id`` —
+        normally a sub-batch produced by :meth:`route_batch`.
+        """
+        if not 0 <= shard_id < self.num_shards:
+            raise ShardingError(
+                f"shard id {shard_id} out of range [0, {self.num_shards})"
+            )
+        for event in batch.samples:
+            routed = self.router.assign(event)
+            if routed != shard_id:
+                raise ShardingError(
+                    f"sample for object {event.object_id} routes to shard "
+                    f"{routed}, not {shard_id}"
+                )
+        started = time.perf_counter()
+        self._sinks[shard_id].ingest(batch)
+        self._tracker.observe(batch.samples)
+        self._tracker.advance(self.low_watermark)
+        self._batches += 1
+        self._ingest_seconds += time.perf_counter() - started
+        return len(batch.samples)
+
+    # ------------------------------------------------------------------
+    # watermarks
+    # ------------------------------------------------------------------
+    @property
+    def watermarks(self) -> Tuple[Optional[TimeInstant], ...]:
+        """Per-shard watermarks, in shard order (``None`` = not started)."""
+        return tuple(ingestor.watermark for ingestor in self._ingestors)
+
+    @property
+    def low_watermark(self) -> Optional[TimeInstant]:
+        """The minimum per-shard watermark: the globally complete prefix end.
+
+        ``None`` until every shard has ingested at least one batch.
+        """
+        marks = self.watermarks
+        if any(mark is None for mark in marks):
+            return None
+        return min(marks)  # type: ignore[type-var]
+
+    @property
+    def origin(self) -> Optional[TimeInstant]:
+        """First tick observed by any shard (``None`` before data arrives)."""
+        origins = [i.origin for i in self._ingestors if i.origin is not None]
+        return min(origins) if origins else None
+
+    # ------------------------------------------------------------------
+    # cross-shard contacts
+    # ------------------------------------------------------------------
+    @property
+    def tracker(self) -> CrossShardContactTracker:
+        """The cross-shard contact tracker (joined through the low-watermark)."""
+        return self._tracker
+
+    def cross_shard_contacts(self) -> List[Contact]:
+        """Every cross-shard contact of the prefix ``[origin, low_watermark]``."""
+        return self._tracker.contacts_through_low()
+
+    # ------------------------------------------------------------------
+    # aggregate counters
+    # ------------------------------------------------------------------
+    @property
+    def num_events(self) -> int:
+        """Total sample events ingested across all shards."""
+        return sum(ingestor.num_events for ingestor in self._ingestors)
+
+    @property
+    def shard_events(self) -> Tuple[int, ...]:
+        """Events ingested per shard (shard-skew visibility)."""
+        return tuple(ingestor.num_events for ingestor in self._ingestors)
+
+    @property
+    def num_batches(self) -> int:
+        """Batches (global or per-shard) delivered so far."""
+        return self._batches
+
+    @property
+    def num_flushed_intervals(self) -> int:
+        """Temporal grid intervals flushed across all shards."""
+        return sum(ingestor.num_flushed_intervals for ingestor in self._ingestors)
+
+    @property
+    def ingest_seconds(self) -> float:
+        """Wall-clock seconds spent ingesting (routing + shards + tracker)."""
+        return self._ingest_seconds
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedStreamIngestor(shards={self.num_shards}, "
+            f"router={self.router.name!r}, events={self.num_events}, "
+            f"low_watermark={self.low_watermark})"
+        )

@@ -21,6 +21,22 @@ from repro.reachgraph import ReachGraphIndex, reduce_contact_network
 from repro.reachgrid import ReachGridIndex
 from repro.trajectory import Trajectory, TrajectoryDataset, TrajectoryStore
 
+
+def pytest_addoption(parser):
+    """Register --shards: restrict the sharding suite to one shard count.
+
+    CI runs ``pytest tests/test_sharding.py --shards N`` per matrix entry.
+    The flag exists only when pytest targets a path inside ``tests/`` (this
+    conftest must be *initial* to register options); a full-repo run simply
+    exercises every canned shard count.
+    """
+    parser.addoption(
+        "--shards",
+        type=int,
+        default=None,
+        help="run sharding tests with this shard count only (default: all)",
+    )
+
 # ----------------------------------------------------------------------
 # Figure 1 scenario (ground truth from the paper)
 # ----------------------------------------------------------------------

@@ -1,0 +1,96 @@
+"""Reusable cross-method equivalence assertions.
+
+Every index, baseline, and streaming service in this repo answers the same
+question; the strongest guarantee the test suite gives is that they all
+answer it *identically*.  This module is the one place that comparison loop
+lives: hand it a ground-truth evaluator and a mapping of named methods, and
+it asserts that every method returns the reference verdict (and, when asked,
+the exact earliest reach time) on every query — collecting all disagreements
+before failing so a mismatch report shows the full picture.
+
+Used by ``test_streaming.py``, ``test_integration_equivalence.py``, and the
+sharded-ingestion property suite in ``test_sharding.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Optional
+
+from repro.baselines.reference import evaluate_reachability
+from repro.contacts import build_contact_network
+from repro.contacts.network import ContactNetwork
+from repro.core import QueryResult, ReachabilityQuery, TimeInterval
+from repro.trajectory.model import TrajectoryDataset
+
+__all__ = ["prefix_network", "reference_evaluator", "assert_methods_agree"]
+
+Evaluator = Callable[[ReachabilityQuery], QueryResult]
+
+
+def prefix_network(
+    dataset: TrajectoryDataset,
+    threshold: float,
+    through: Optional[int] = None,
+) -> ContactNetwork:
+    """The batch contact network of ``dataset`` up to instant ``through``.
+
+    With ``through=None`` the full horizon is used.  This is the ground truth
+    a streaming service must match after ingesting the prefix that ends at
+    ``through`` (its watermark, or a sharded service's low-watermark).
+    """
+    window = None
+    if through is not None:
+        window = TimeInterval(dataset.horizon.start, through)
+    return build_contact_network(dataset, threshold, window=window)
+
+
+def reference_evaluator(network: ContactNetwork) -> Evaluator:
+    """The batch ``reference`` evaluator bound to a contact network."""
+    return lambda query: evaluate_reachability(network, query)
+
+
+def assert_methods_agree(
+    reference: Evaluator,
+    methods: Mapping[str, Evaluator],
+    queries: Iterable[ReachabilityQuery],
+    check_earliest: bool = False,
+    require_earliest: bool = False,
+    context: str = "",
+) -> None:
+    """Assert every method returns the reference verdict on every query.
+
+    With ``check_earliest`` the earliest reach time of reachable queries is
+    compared too — but only when the method reports one (bidirectional
+    traversals legitimately return ``None``).  ``require_earliest``
+    additionally treats a missing earliest time as a disagreement, for
+    methods that are supposed to compute it exactly (ReachGrid, SPJ, the
+    streaming union path).  All disagreements are collected before failing so
+    the assertion message shows every mismatch, not just the first.
+    """
+    disagreements = []
+    for query in queries:
+        expected = reference(query)
+        for name, evaluate in methods.items():
+            actual = evaluate(query)
+            if bool(actual.reachable) != bool(expected.reachable):
+                disagreements.append(
+                    f"{name}: {query}: reachable={actual.reachable}, "
+                    f"reference says {expected.reachable}"
+                )
+            elif check_earliest and expected.reachable:
+                if actual.earliest_time is None:
+                    if require_earliest:
+                        disagreements.append(
+                            f"{name}: {query}: earliest_time missing, "
+                            f"reference says {expected.earliest_time}"
+                        )
+                elif actual.earliest_time != expected.earliest_time:
+                    disagreements.append(
+                        f"{name}: {query}: earliest_time={actual.earliest_time}, "
+                        f"reference says {expected.earliest_time}"
+                    )
+    suffix = f" [{context}]" if context else ""
+    assert not disagreements, (
+        f"{len(disagreements)} disagreement(s) with the reference evaluator"
+        f"{suffix}:\n" + "\n".join(disagreements)
+    )

@@ -114,6 +114,7 @@ class TestExperimentDrivers:
             "figure15",
             "table5",
             "stream",
+            "stream-sharded",
         }
 
     def test_table1_is_static(self):

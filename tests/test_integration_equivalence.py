@@ -14,7 +14,8 @@ import random
 
 import pytest
 
-from repro.baselines import GrailIndex, SpjBaseline, evaluate_reachability
+from equivalence import assert_methods_agree, reference_evaluator
+from repro.baselines import GrailIndex, SpjBaseline
 from repro.core import ContactConfig, ReachabilityQuery, ReachGraphConfig, ReachGridConfig, TimeInterval
 from repro.reachgraph import ReachGraphIndex, ReachGraphQueryProcessor, reduce_contact_network
 from repro.reachgrid import ReachGridIndex, ReachGridQueryProcessor
@@ -66,14 +67,12 @@ def vn_methods(vn_tiny_dataset, vn_tiny_network):
 
 class TestAllMethodsAgreeOnVehicleData:
     def test_verdicts_match_reference(self, vn_methods, vn_tiny_network):
-        queries = make_queries(vn_tiny_network, 25, seed=101)
-        disagreements = []
-        for query in queries:
-            expected = evaluate_reachability(vn_tiny_network, query).reachable
-            for name, evaluate in vn_methods.items():
-                if evaluate(query).reachable != expected:
-                    disagreements.append((name, query))
-        assert not disagreements
+        assert_methods_agree(
+            reference_evaluator(vn_tiny_network),
+            vn_methods,
+            make_queries(vn_tiny_network, 25, seed=101),
+            context="vehicle data",
+        )
 
     def test_reachability_is_monotone_in_interval(self, vn_methods, vn_tiny_network):
         """Extending the query interval can only turn 'not reachable' into
@@ -100,13 +99,17 @@ class TestAllMethodsAgreeOnIndividualData:
         grid_processor = ReachGridQueryProcessor(tiny_reachgrid)
         graph_processor = ReachGraphQueryProcessor(tiny_reachgraph)
         spj = SpjBaseline(tiny_store, tiny_network.distance_threshold)
-        queries = make_queries(tiny_network, 25, seed=202)
-        for query in queries:
-            expected = evaluate_reachability(tiny_network, query).reachable
-            assert grid_processor.evaluate(query).reachable == expected
-            assert graph_processor.evaluate(query, strategy="bm-bfs").reachable == expected
-            assert graph_processor.evaluate(query, strategy="e-dfs").reachable == expected
-            assert spj.evaluate(query).reachable == expected
+        assert_methods_agree(
+            reference_evaluator(tiny_network),
+            {
+                "reachgrid": grid_processor.evaluate,
+                "bm-bfs": lambda q: graph_processor.evaluate(q, strategy="bm-bfs"),
+                "e-dfs": lambda q: graph_processor.evaluate(q, strategy="e-dfs"),
+                "spj": spj.evaluate,
+            },
+            make_queries(tiny_network, 25, seed=202),
+            context="individual data",
+        )
 
     def test_earliest_times_agree_between_grid_and_spj(
         self, tiny_reachgrid, tiny_store, tiny_network
@@ -115,9 +118,11 @@ class TestAllMethodsAgreeOnIndividualData:
         reachable queries they must agree with the reference evaluator."""
         grid_processor = ReachGridQueryProcessor(tiny_reachgrid)
         spj = SpjBaseline(tiny_store, tiny_network.distance_threshold)
-        for query in make_queries(tiny_network, 20, seed=303):
-            expected = evaluate_reachability(tiny_network, query)
-            if not expected.reachable:
-                continue
-            assert grid_processor.evaluate(query).earliest_time == expected.earliest_time
-            assert spj.evaluate(query).earliest_time == expected.earliest_time
+        assert_methods_agree(
+            reference_evaluator(tiny_network),
+            {"reachgrid": grid_processor.evaluate, "spj": spj.evaluate},
+            make_queries(tiny_network, 20, seed=303),
+            check_earliest=True,
+            require_earliest=True,
+            context="earliest times, individual data",
+        )

@@ -97,3 +97,42 @@ class TestEarliestArrivalAndReachableSet:
         short = reachable_set(tiny_network, 0, TimeInterval(0, 30))
         longer = reachable_set(tiny_network, 0, TimeInterval(0, 80))
         assert short <= longer
+
+    def test_early_termination_still_returns_the_minimum(self):
+        """Regression: the destination's arrival must be the true minimum even
+        under early termination.
+
+        A long-lived contact (3,2) can transmit as early as t=8, but only a
+        sweep that revisits it after (0,3) delivers the item would notice; the
+        greedy path 0->1->2 certifies reachability at t=10 first.  The
+        pre-Dijkstra evaluator early-returned that non-minimal 10.
+        """
+        from repro.contacts.network import Contact
+
+        contacts = [
+            Contact(2, 3, TimeInterval(0, 20)),
+            Contact(0, 3, TimeInterval(8, 8)),
+            Contact(0, 1, TimeInterval(9, 9)),
+            Contact(1, 2, TimeInterval(10, 10)),
+        ]
+        arrival = earliest_arrival(contacts, 0, TimeInterval(0, 20), destination=2)
+        assert arrival[2] == 8
+
+    def test_split_contacts_do_not_change_arrival_times(self, figure1_network):
+        """Splitting a validity interval at any boundary is lossless — the
+        invariant the streaming merge path relies on."""
+        from repro.contacts.network import Contact
+
+        split = []
+        for contact in figure1_network.contacts:
+            validity = contact.validity
+            if validity.length > 1:
+                mid = validity.midpoint
+                split.append(Contact(contact.first, contact.second, TimeInterval(validity.start, mid)))
+                split.append(Contact(contact.first, contact.second, TimeInterval(mid + 1, validity.end)))
+            else:
+                split.append(contact)
+        interval = TimeInterval(0, 3)
+        assert earliest_arrival(split, 1, interval) == earliest_arrival(
+            figure1_network.contacts, 1, interval
+        )

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import pytest
 
+from equivalence import assert_methods_agree, prefix_network, reference_evaluator
 from repro.baselines.reference import evaluate_reachability
 from repro.contacts import build_contact_network
 from repro.core import (
@@ -20,6 +21,7 @@ from repro.core import (
     StreamingConfig,
     StreamingError,
     TimeInterval,
+    WatermarkRegressionError,
 )
 from repro.core.engine import ReachabilityEngine
 from repro.streaming import (
@@ -152,8 +154,41 @@ class TestStreamIngestor:
         )
         batches = list(DatasetReplaySource(tiny_dataset, batch_ticks=5).batches())
         ingestor.ingest(batches[1])
-        with pytest.raises(StreamingError):
+        with pytest.raises(WatermarkRegressionError) as excinfo:
             ingestor.ingest(batches[0])
+        assert excinfo.value.batch_watermark == batches[0].watermark
+        assert excinfo.value.current_watermark == batches[1].watermark
+        # ... which is still a StreamingError, so old handlers keep working.
+        assert isinstance(excinfo.value, StreamingError)
+
+    def test_rejected_batch_leaves_state_untouched(
+        self, tiny_dataset, tiny_contact_config
+    ):
+        """Regression: a batch rejected mid-validation must not corrupt the
+        ingestor (earlier samples of the bad batch used to stay buffered,
+        poisoning interval flushing and the dense-horizon invariant)."""
+        ingestor = StreamIngestor(
+            tiny_dataset.environment_size, contact_config=tiny_contact_config
+        )
+        batches = list(DatasetReplaySource(tiny_dataset, batch_ticks=5).batches())
+        ingestor.ingest(batches[0])
+        events = ingestor.num_events
+        watermark = ingestor.watermark
+        memtable = ingestor.memtable_records
+        # A batch whose *last* sample is late: everything before it is valid.
+        good = list(batches[1].samples)
+        poisoned = StreamBatch.of(
+            tuple(good) + (SampleEvent(good[0].object_id, 0, Point(0.0, 0.0)),),
+            watermark=batches[1].watermark,
+        )
+        with pytest.raises(StreamingError):
+            ingestor.ingest(poisoned)
+        assert ingestor.num_events == events
+        assert ingestor.watermark == watermark
+        assert ingestor.memtable_records == memtable
+        # The corrected batch is accepted afterwards as if nothing happened.
+        ingestor.ingest(batches[1])
+        assert ingestor.watermark == batches[1].watermark
 
     def test_late_sample_rejected(self, tiny_dataset, tiny_contact_config):
         ingestor = StreamIngestor(
@@ -162,6 +197,25 @@ class TestStreamIngestor:
         ingestor.ingest(StreamBatch.of([SampleEvent(1, 0, Point(0, 0))]))
         with pytest.raises(StreamingError):
             ingestor.ingest(StreamBatch.of([SampleEvent(2, 0, Point(1, 1))], watermark=1))
+
+    def test_dense_horizon_break_rejected_atomically(
+        self, tiny_dataset, tiny_contact_config
+    ):
+        ingestor = StreamIngestor(
+            tiny_dataset.environment_size, contact_config=tiny_contact_config
+        )
+        ingestor.ingest(StreamBatch.of([SampleEvent(1, 0, Point(0, 0))]))
+        # Object 1 skips t=1: rejected, and the valid sample for object 2
+        # that preceded it in the batch must not have been buffered.
+        with pytest.raises(StreamingError):
+            ingestor.ingest(
+                StreamBatch.of(
+                    [SampleEvent(2, 1, Point(1, 1)), SampleEvent(1, 2, Point(0, 0))],
+                    watermark=2,
+                )
+            )
+        assert ingestor.num_events == 1
+        assert ingestor.watermark == 0
 
 
 # ----------------------------------------------------------------------
@@ -252,12 +306,13 @@ class TestStreamingEquivalence:
         )
         service.drain(tiny_dataset)
         assert service.num_merges > 0, "policy thresholds should force merges"
-        for query in random_queries(tiny_dataset, count=50, seed=17):
-            expected = evaluate_reachability(tiny_network, query)
-            actual = service.query(query)
-            assert actual.reachable == expected.reachable, str(query)
-            if expected.reachable and actual.earliest_time is not None:
-                assert actual.earliest_time == expected.earliest_time, str(query)
+        assert_methods_agree(
+            reference_evaluator(tiny_network),
+            {"streaming": service.query},
+            random_queries(tiny_dataset, count=50, seed=17),
+            check_earliest=True,
+            context=f"policy={policy}, drained",
+        )
 
     @pytest.mark.parametrize("policy", sorted(POLICY_CONFIGS))
     def test_mid_stream_queries_answer_over_prefix(
@@ -274,18 +329,16 @@ class TestStreamingEquivalence:
             service.ingest(batch)
             if position % 4 != 2:
                 continue
-            prefix_window = TimeInterval(
-                tiny_dataset.horizon.start, service.watermark
+            assert_methods_agree(
+                reference_evaluator(
+                    prefix_network(
+                        tiny_dataset, TINY_THRESHOLD, through=service.watermark
+                    )
+                ),
+                {"streaming": service.query},
+                workload,
+                context=f"policy={policy}, watermark={service.watermark}",
             )
-            prefix_network = build_contact_network(
-                tiny_dataset, TINY_THRESHOLD, window=prefix_window
-            )
-            for query in workload:
-                expected = evaluate_reachability(prefix_network, query)
-                actual = service.query(query)
-                assert actual.reachable == expected.reachable, (
-                    f"{query} at watermark {service.watermark}"
-                )
 
     def test_queries_before_any_ingest(self, tiny_dataset, tiny_contact_config):
         service = StreamingReachabilityService.for_dataset(
@@ -370,6 +423,113 @@ class TestStreamingService:
         assert service.contact_config is engine.contact_config
         stats = service.drain(engine.dataset)
         assert stats.events == tiny_dataset.num_objects * tiny_dataset.num_instants
+
+
+class TestMergeEdgeCases:
+    """Edge cases of the snapshot/delta merge path (delta.py + policy.py)."""
+
+    def _drained_service(self, dataset, contact_config, **overrides):
+        service = StreamingReachabilityService.for_dataset(
+            dataset,
+            contact_config=contact_config,
+            streaming_config=StreamingConfig(max_delta_contacts=10_000, **overrides),
+        )
+        service.drain(dataset)
+        return service
+
+    def test_zero_delta_merge_is_sound(
+        self, tiny_dataset, tiny_network, tiny_contact_config
+    ):
+        """Merging with an empty delta (back-to-back merges at the same
+        watermark) must rebuild an identical snapshot, not corrupt it."""
+        service = self._drained_service(tiny_dataset, tiny_contact_config)
+        service.merge()
+        size_after_first = service.overlay.snapshot_size
+        assert service.overlay.delta_size == 0
+        service.merge()  # zero-delta merge
+        assert service.overlay.snapshot_size == size_after_first
+        assert service.overlay.snapshot_watermark == tiny_dataset.horizon.end
+        assert service.num_merges == 2
+        assert_methods_agree(
+            reference_evaluator(tiny_network),
+            {"post-zero-delta-merge": service.query},
+            random_queries(tiny_dataset, count=20, seed=23),
+            check_earliest=True,
+        )
+
+    def test_no_automerge_exactly_at_watermark_boundary(
+        self, tiny_dataset, tiny_contact_config
+    ):
+        """Once the snapshot watermark equals the stream watermark there is
+        nothing to fold: the policy must not be consulted again until the
+        watermark moves (an empty batch at the same watermark is a no-op)."""
+        service = StreamingReachabilityService.for_dataset(
+            tiny_dataset,
+            contact_config=tiny_contact_config,
+            # A hair trigger that would fire on every batch if consulted.
+            streaming_config=StreamingConfig(max_delta_contacts=1),
+        )
+        batches = list(DatasetReplaySource(tiny_dataset, batch_ticks=10).batches())
+        service.ingest(batches[0])
+        merges = service.num_merges
+        assert service.overlay.snapshot_watermark == service.watermark
+        service.ingest(StreamBatch.of([], watermark=service.watermark))
+        assert service.num_merges == merges, "boundary batch must not re-merge"
+
+    def test_merge_bounded_at_watermark_keeps_tail_in_delta(
+        self, tiny_dataset, tiny_contact_config
+    ):
+        """A merge bounded below the watermark (the sharded coordinator's
+        low-watermark) freezes only the bounded prefix; contact coverage past
+        the bound must survive in the delta, clipped at the boundary."""
+        service = self._drained_service(tiny_dataset, tiny_contact_config)
+        watermark = service.watermark
+        bound = watermark - 15
+        service.merge(through=bound)
+        assert service.overlay.snapshot_watermark == bound
+        for contact in service.overlay._delta.contacts:
+            assert contact.validity.start == bound + 1 or (
+                contact.validity.start > bound
+            )
+        assert_methods_agree(
+            reference_evaluator(
+                prefix_network(tiny_dataset, TINY_THRESHOLD, through=watermark)
+            ),
+            {"bounded-merge": service.query},
+            random_queries(tiny_dataset, count=20, seed=29),
+            check_earliest=True,
+        )
+
+    def test_closed_contacts_since_across_a_merge(
+        self, tiny_dataset, tiny_contact_config
+    ):
+        """The closed-contact log is append-only: a merge must not shift the
+        positions ``closed_contacts_since`` readers rely on."""
+        service = StreamingReachabilityService.for_dataset(
+            tiny_dataset,
+            contact_config=tiny_contact_config,
+            streaming_config=StreamingConfig(max_delta_contacts=10_000),
+        )
+        batches = list(DatasetReplaySource(tiny_dataset, batch_ticks=12).batches())
+        midpoint = len(batches) // 2
+        for batch in batches[:midpoint]:
+            service.ingest(batch)
+        ingestor = service.ingestor
+        seen = ingestor.num_closed_contacts
+        head = ingestor.closed_contacts_since(0)
+        service.merge()
+        # Positions survive the merge: the log head is unchanged and the
+        # tail picks up exactly where the pre-merge count left off.
+        assert ingestor.closed_contacts_since(0)[:seen] == head
+        for batch in batches[midpoint:]:
+            service.ingest(batch)
+        tail = ingestor.closed_contacts_since(seen)
+        assert len(tail) == ingestor.num_closed_contacts - seen
+        assert ingestor.closed_contacts_since(0) == head + tail
+        # The delta only ever holds coverage past the snapshot watermark.
+        snapshot_watermark = service.overlay.snapshot_watermark
+        for contact in service.overlay._delta.contacts:
+            assert contact.validity.end > snapshot_watermark
 
 
 class TestStreamExperiment:
