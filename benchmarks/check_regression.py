@@ -1,0 +1,203 @@
+#!/usr/bin/env python
+"""Benchmark regression gate: fresh ``--benchmark-json`` vs committed baseline.
+
+Usage::
+
+    # gate (CI): fail when any benchmark's median slowed >30% vs baseline
+    python benchmarks/check_regression.py bench-streaming.json
+
+    # gate across machines of different speed: divide every ratio by the
+    # geometric-mean ratio first, so only *relative* regressions fail
+    python benchmarks/check_regression.py bench-streaming.json --normalize
+
+    # refresh the committed baseline from a fresh run
+    python benchmarks/check_regression.py bench-streaming.json --update
+
+The committed baseline (``BENCH_streaming.json`` at the repo root) is a
+distilled ``{benchmark name: median seconds}`` mapping, not the full
+pytest-benchmark document — small enough to review in a diff, stable enough
+to gate on.  The gate compares each benchmark's fresh median against its
+baseline median and fails (exit code 1) when the slowdown exceeds the
+threshold (default 30%).  A benchmark present in the baseline but missing
+from the fresh run also fails: silently dropping a benchmark is how
+regressions hide.  New benchmarks are reported and ignored until the
+baseline is updated.
+
+``--normalize`` exists because absolute medians encode the machine they were
+recorded on: a uniformly slower CI runner would trip every benchmark at
+once.  The machine factor is the *median* of the per-benchmark ratios — a
+uniform shift moves the median and is cancelled, while a minority of
+benchmarks regressing (or legitimately speeding up) leaves the median at the
+common factor, so neither a regression dilutes its own gate nor a speedup
+poisons the gates of untouched benchmarks.  The factor cannot absorb
+arbitrarily much: past ``--max-machine-factor`` (default 2x) the gate fails
+outright, because a shift that large is at least as likely a regression
+hitting every benchmark (they all share the streaming hot path) as it is a
+slower runner — re-baseline with ``--update`` on representative hardware to
+clear it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+from typing import Dict
+
+#: Default location of the committed baseline, relative to the repo root
+#: (this file lives in ``benchmarks/``).
+DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_streaming.json"
+
+
+def load_medians(benchmark_json: Path) -> Dict[str, float]:
+    """Distill ``{name: median seconds}`` from either JSON layout.
+
+    Accepts a full pytest-benchmark document (``{"benchmarks": [...]}``) or
+    an already-distilled baseline mapping.
+    """
+    document = json.loads(benchmark_json.read_text(encoding="utf-8"))
+    if isinstance(document, dict) and "benchmarks" in document:
+        return {
+            entry["name"]: float(entry["stats"]["median"])
+            for entry in document["benchmarks"]
+        }
+    if isinstance(document, dict) and all(
+        isinstance(value, (int, float)) for value in document.values()
+    ):
+        return {name: float(value) for name, value in document.items()}
+    raise SystemExit(
+        f"{benchmark_json}: neither a pytest-benchmark document nor a "
+        "{name: median} baseline"
+    )
+
+
+def median_ratio(values) -> float:
+    values = list(values)
+    return statistics.median(values) if values else 1.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "fresh", type=Path, help="fresh pytest-benchmark --benchmark-json output"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help=f"committed baseline to gate against (default: {DEFAULT_BASELINE.name})",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="maximum tolerated median slowdown, as a fraction (default: 0.30)",
+    )
+    parser.add_argument(
+        "--normalize",
+        action="store_true",
+        help=(
+            "divide every slowdown ratio by the median ratio, cancelling a "
+            "uniformly faster/slower machine (bounded by --max-machine-factor)"
+        ),
+    )
+    parser.add_argument(
+        "--max-machine-factor",
+        type=float,
+        default=2.0,
+        help=(
+            "fail when the --normalize machine factor exceeds this ratio: a "
+            "shift that large may be a regression across every benchmark, not "
+            "hardware (default: 2.0)"
+        ),
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from the fresh run instead of gating",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = load_medians(args.fresh)
+    if not fresh:
+        print("no benchmarks in the fresh run", file=sys.stderr)
+        return 1
+
+    if args.update:
+        args.baseline.write_text(
+            json.dumps(dict(sorted(fresh.items())), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"baseline {args.baseline} updated with {len(fresh)} benchmark(s)")
+        return 0
+
+    if not args.baseline.exists():
+        print(
+            f"baseline {args.baseline} does not exist; create it with --update",
+            file=sys.stderr,
+        )
+        return 1
+    baseline = load_medians(args.baseline)
+
+    ratios = {
+        name: fresh[name] / baseline[name]
+        for name in baseline
+        if name in fresh and baseline[name] > 0
+    }
+
+    machine_factor = median_ratio(ratios.values()) if args.normalize else 1.0
+    failures = []
+    if args.normalize:
+        print(f"machine factor (median ratio): {machine_factor:.3f}x")
+        if machine_factor > args.max_machine_factor:
+            failures.append(
+                f"machine factor {machine_factor:.3f}x exceeds the "
+                f"{args.max_machine_factor:.2f}x cap: either every benchmark "
+                "regressed together or this machine differs too much from the "
+                "baseline's — re-baseline with --update on representative "
+                "hardware"
+            )
+        elif machine_factor > 1.0 + args.threshold:
+            print(
+                f"warning: machine factor {machine_factor:.3f}x exceeds the "
+                f"per-benchmark threshold; a uniform regression up to the "
+                f"{args.max_machine_factor:.2f}x cap would be absorbed"
+            )
+    for name in sorted(baseline):
+        if name not in fresh:
+            failures.append(f"{name}: present in baseline but missing from the fresh run")
+            continue
+        ratio = ratios[name] / machine_factor
+        slowdown = ratio - 1.0
+        status = "FAIL" if slowdown > args.threshold else "ok"
+        print(
+            f"[{status}] {name}: baseline {baseline[name]:.4f}s, "
+            f"fresh {fresh[name]:.4f}s, adjusted ratio {ratio:.3f}x"
+        )
+        if slowdown > args.threshold:
+            failures.append(
+                f"{name}: median slowed {100.0 * slowdown:.1f}% "
+                f"(> {100.0 * args.threshold:.0f}% threshold)"
+            )
+    for name in sorted(set(fresh) - set(baseline)):
+        print(
+            f"[new] {name}: {fresh[name]:.4f}s — not in the baseline; "
+            "run with --update to start gating it"
+        )
+
+    if failures:
+        print(
+            f"\nbenchmark regression gate FAILED ({len(failures)} finding(s)):",
+            file=sys.stderr,
+        )
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nbenchmark regression gate passed ({len(ratios)} benchmark(s) compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

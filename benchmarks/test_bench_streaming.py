@@ -5,12 +5,23 @@ throughput (events/sec) plus per-query IO in the two regimes the delta
 overlay creates: queries answered while the delta is live versus queries
 answered after a merge folded everything into the frozen ReachGraph.  The
 sharded benchmark drains the same stream through 1/2/4/8 ingestion shards and
-reports the scaling curve of events/sec and per-query cost.
+reports the scaling curve of events/sec and per-query cost; the async
+benchmark replays the same script through the synchronous sharded service and
+the asyncio front-end under concurrent query load.
+
+The committed ``BENCH_streaming.json`` pins the expected medians of this
+module; CI reruns it with ``--benchmark-json`` and
+``benchmarks/check_regression.py`` fails the build on a >30% per-benchmark
+median slowdown.
 """
 
 from __future__ import annotations
 
-from repro.streaming.experiment import sharded_stream_replay, stream_replay
+from repro.streaming.experiment import (
+    async_stream_replay,
+    sharded_stream_replay,
+    stream_replay,
+)
 
 from conftest import run_experiment
 
@@ -51,3 +62,29 @@ def test_sharded_scaling_curve(benchmark):
         # Sharded answers must agree with the batch reference evaluator at
         # every shard count (the cross-method equivalence contract).
         assert row["matches"] == "12/12"
+
+
+def test_async_vs_sync_serving(benchmark):
+    result = run_experiment(
+        benchmark,
+        async_stream_replay,
+        dataset_names=("rwp-small",),
+        shards=2,
+        concurrency=4,
+        batch_ticks=8,
+        num_queries=12,
+        queries_per_batch=3,
+    )
+    assert [row["mode"] for row in result.rows] == ["sync", "async"]
+    by_mode = {row["mode"]: row for row in result.rows}
+    for row in result.rows:
+        assert row["ingest_events_per_sec"] > 0
+        assert row["queries_during_ingest"] > 0
+        assert row["wall_seconds"] > 0
+        # Both regimes must agree with the batch reference evaluator once
+        # drained (the async correctness contract).
+        assert row["matches"] == "12/12"
+    # Both regimes replay the same batches, so merges fire in both; the async
+    # ones ran as background tasks.
+    assert by_mode["async"]["merges"] > 0
+    assert by_mode["sync"]["merges"] > 0

@@ -12,7 +12,7 @@ verdicts and the normalized IO each method paid.
 
 from __future__ import annotations
 
-from repro import ReachabilityEngine, ReachabilityQuery, TimeInterval
+from repro import ReachabilityEngine
 from repro.workloads import random_queries
 
 

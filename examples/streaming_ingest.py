@@ -14,7 +14,7 @@ reference evaluator.
 
 from __future__ import annotations
 
-from repro import ReachabilityEngine, ReachabilityQuery, StreamingConfig, TimeInterval
+from repro import ReachabilityEngine, ReachabilityQuery, StreamingConfig
 from repro.baselines.reference import evaluate_reachability
 from repro.streaming import replay
 from repro.workloads import random_queries

@@ -23,11 +23,11 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..core.config import GrailConfig, StorageConfig
 from ..core.errors import IndexConstructionError, IndexNotBuiltError, QueryError
-from ..core.types import QueryResult, ReachabilityQuery, TimeInterval
+from ..core.types import QueryResult, ReachabilityQuery
 from ..reachgraph.dag import ContactDag
 from ..storage import StorageSystem
 

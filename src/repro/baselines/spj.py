@@ -17,9 +17,9 @@ import time
 from typing import Dict, List
 
 from ..core.errors import QueryError, UnknownObjectError
-from ..core.types import Point, QueryResult, ReachabilityQuery, TimeInterval
+from ..core.types import QueryResult, ReachabilityQuery, TimeInterval
 from ..contacts.join import pairs_within_distance
-from ..contacts.network import Contact, ContactNetwork
+from ..contacts.network import Contact
 from ..trajectory.store import TrajectoryStore
 from .reference import earliest_arrival
 

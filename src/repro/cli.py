@@ -9,6 +9,7 @@ Usage::
     python -m repro.cli stream --quick       # streaming ingest vs batch rebuild
     python -m repro.cli stream --shards 4    # ... on 4 ingestion shards
     python -m repro.cli stream-sharded       # shard-count scaling curve
+    python -m repro.cli stream-async --concurrency 8  # sync vs asyncio serving
     python -m repro.cli table5 --json out.json  # machine-readable results too
 """
 
@@ -39,12 +40,20 @@ _QUICK_OVERRIDES = {
     "table5": {"dataset_names": ("rwp-tiny", "vn-tiny"), "num_queries": 8, "query_length": 100},
     "stream": {"dataset_names": ("rwp-tiny",), "num_queries": 6},
     "stream-sharded": {"dataset_names": ("rwp-tiny",), "num_queries": 6, "shard_counts": (1, 2, 4)},
+    "stream-async": {"dataset_names": ("rwp-tiny",), "num_queries": 6, "queries_per_batch": 2},
 }
 
 #: How --shards N is injected, per experiment that understands sharding.
 _SHARD_KWARGS = {
     "stream": lambda shards: {"shards": shards},
     "stream-sharded": lambda shards: {"shard_counts": (shards,)},
+    "stream-async": lambda shards: {"shards": shards},
+}
+
+#: How --concurrency N is injected, per experiment that serves queries
+#: concurrently with ingestion.
+_CONCURRENCY_KWARGS = {
+    "stream-async": lambda concurrency: {"concurrency": concurrency},
 }
 
 
@@ -92,14 +101,31 @@ def build_parser() -> argparse.ArgumentParser:
             f"(applies to: {', '.join(sorted(_SHARD_KWARGS))})"
         ),
     )
+    parser.add_argument(
+        "--concurrency",
+        type=int,
+        metavar="N",
+        default=None,
+        help=(
+            "issue N concurrent queries against the asyncio serving front-end "
+            f"(applies to: {', '.join(sorted(_CONCURRENCY_KWARGS))})"
+        ),
+    )
     return parser
 
 
-def _run_one(name: str, quick: bool, shards: Optional[int] = None):
+def _run_one(
+    name: str,
+    quick: bool,
+    shards: Optional[int] = None,
+    concurrency: Optional[int] = None,
+):
     driver = EXPERIMENTS[name]
     kwargs = dict(_QUICK_OVERRIDES.get(name, {})) if quick else {}
     if shards is not None and name in _SHARD_KWARGS:
         kwargs.update(_SHARD_KWARGS[name](shards))
+    if concurrency is not None and name in _CONCURRENCY_KWARGS:
+        kwargs.update(_CONCURRENCY_KWARGS[name](concurrency))
     return driver(**kwargs)
 
 
@@ -127,10 +153,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.shards is not None and args.shards <= 0:
         parser.error("--shards must be positive")
+    if args.concurrency is not None and args.concurrency <= 0:
+        parser.error("--concurrency must be positive")
     results = []
     for name in names:
         print(f"running {name} ...", file=sys.stderr)
-        results.append(_run_one(name, args.quick, shards=args.shards))
+        results.append(
+            _run_one(
+                name, args.quick, shards=args.shards, concurrency=args.concurrency
+            )
+        )
     report = "\n\n".join(format_result(result) for result in results)
     print(report)
     if args.output:

@@ -18,7 +18,7 @@ Two entry points are provided:
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from ..core.errors import ContactNetworkError
 from ..core.types import ObjectId, Point, TimeInstant, TimeInterval

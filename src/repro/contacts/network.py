@@ -10,7 +10,7 @@ time horizon, together with the trajectory dataset they came from.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from ..core.errors import ContactNetworkError
 from ..core.types import ObjectId, TimeInstant, TimeInterval

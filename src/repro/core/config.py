@@ -13,7 +13,7 @@ that the benchmark harness can sweep them exactly as the paper does:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Sequence, Tuple
 
 from .errors import ConfigurationError
@@ -207,6 +207,11 @@ class StreamingConfig:
         One of :data:`SHARD_ROUTERS` — how sample events are partitioned
         across shards (``hash``: by object-id hash; ``spatial``: sticky, by
         the spatial grid cell of the object's first observed position).
+    async_queue_depth:
+        Capacity (in batches) of each per-shard ingest queue of the asyncio
+        front-end (:class:`~repro.streaming.async_service.AsyncReachabilityService`,
+        ``engine.streaming(async_mode=True)``).  A full queue backpressures
+        ``await ingest(...)`` until the shard's ingest loop catches up.
     """
 
     batch_ticks: int = 8
@@ -218,6 +223,7 @@ class StreamingConfig:
     build_reachgraph_on_merge: bool = True
     shards: int = 1
     router: str = "hash"
+    async_queue_depth: int = 4
 
     def __post_init__(self) -> None:
         if self.batch_ticks <= 0:
@@ -242,6 +248,8 @@ class StreamingConfig:
                 f"unknown shard router {self.router!r}; "
                 f"choose one of {', '.join(SHARD_ROUTERS)}"
             )
+        if self.async_queue_depth <= 0:
+            raise ConfigurationError("async_queue_depth must be positive")
 
     def with_merge_policy(self, policy: str) -> "StreamingConfig":
         """Copy of this config with a different merge policy."""

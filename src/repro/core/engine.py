@@ -150,6 +150,7 @@ class ReachabilityEngine:
         grid_config: ReachGridConfig | None = None,
         shards: int | None = None,
         router: str | None = None,
+        async_mode: bool = False,
     ):
         """A streaming reachability service configured like this engine
         (same contact and storage parameters).
@@ -164,11 +165,27 @@ class ReachabilityEngine:
         starts empty; feed it with ``service.drain(engine.dataset)`` to replay
         this engine's dataset as a stream, or ingest batches from any
         :mod:`repro.streaming.source`.
+
+        ``async_mode=True`` instead returns an
+        :class:`~repro.streaming.async_service.AsyncReachabilityService`
+        (``await ingest`` / ``await query`` with per-shard ingest loops and
+        background merges) over the configured shard count; feed it with
+        ``await service.replay(engine.dataset)`` from a running event loop.
         """
         config = streaming_config or StreamingConfig()
         if shards is not None or router is not None:
             config = config.with_shards(
                 config.shards if shards is None else shards, router=router
+            )
+        if async_mode:
+            from ..streaming.async_service import AsyncReachabilityService
+
+            return AsyncReachabilityService.for_dataset(
+                self.dataset,
+                contact_config=self.contact_config,
+                grid_config=grid_config,
+                streaming_config=config,
+                storage_config=self.storage_config,
             )
         if config.shards > 1:
             from ..streaming.coordinator import ShardedReachabilityService

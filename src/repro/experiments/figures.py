@@ -15,13 +15,13 @@ spatiotemporal join more than once per dataset.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from ..baselines.grail import GrailIndex
 from ..baselines.spj import SpjBaseline
 from ..contacts.join import build_contact_network
 from ..contacts.network import ContactNetwork
-from ..core.config import ContactConfig, GrailConfig, ReachGraphConfig, ReachGridConfig
+from ..core.config import GrailConfig, ReachGraphConfig, ReachGridConfig
 from ..reachgraph.augmentation import augment_dag
 from ..reachgraph.index import ReachGraphIndex
 from ..reachgraph.query import ReachGraphQueryProcessor
@@ -232,7 +232,6 @@ def figure10_contact_network_size(
         description="Contact network (DN) edges and vertices vs horizon length",
     )
     for name in dataset_names:
-        spec = _spec(name)
         network = _network(name)
         full_horizon = network.horizon
         for fraction in horizon_fractions:
@@ -680,6 +679,13 @@ def _sharded_stream_replay(**kwargs) -> ExperimentResult:
     return sharded_stream_replay(**kwargs)
 
 
+def _async_stream_replay(**kwargs) -> ExperimentResult:
+    """Sync vs async serving: throughput and query latency under load."""
+    from ..streaming.experiment import async_stream_replay
+
+    return async_stream_replay(**kwargs)
+
+
 EXPERIMENTS = {
     "table1": table1_complexity,
     "figure8": figure8_grid_resolution,
@@ -696,4 +702,5 @@ EXPERIMENTS = {
     "table5": table5_grail_comparison,
     "stream": _stream_replay,
     "stream-sharded": _sharded_stream_replay,
+    "stream-async": _async_stream_replay,
 }

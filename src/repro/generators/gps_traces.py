@@ -22,7 +22,7 @@ from typing import Optional, Tuple
 
 from ..core.errors import DatasetError
 from ..trajectory.interpolation import densify_sparse_samples, downsample
-from ..trajectory.model import Trajectory, TrajectoryDataset
+from ..trajectory.model import TrajectoryDataset
 from .base import TrajectoryGenerator
 from .road_network import RoadNetwork, RoadNetworkGenerator
 

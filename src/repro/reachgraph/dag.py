@@ -14,7 +14,7 @@ the long-edge layers is the ReachGraph hyper graph ``HN``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
 from ..core.errors import IndexConstructionError
 from ..core.types import ObjectId, TimeInstant, TimeInterval

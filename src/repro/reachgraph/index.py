@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..core.config import ContactConfig, ReachGraphConfig, StorageConfig
 from ..core.errors import IndexConstructionError, IndexNotBuiltError, UnknownObjectError

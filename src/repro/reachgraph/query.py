@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import time
 from collections import deque
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from ..core.errors import QueryError, UnknownObjectError
 from ..core.types import ObjectId, QueryResult, ReachabilityQuery, TimeInstant, TimeInterval

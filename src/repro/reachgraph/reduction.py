@@ -27,7 +27,6 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..core.types import ObjectId, TimeInterval
 from ..contacts.network import ContactNetwork
-from ..contacts.ten import TimeExpandedNetwork
 from .dag import ContactDag
 
 __all__ = ["ReductionReport", "reduce_contact_network"]
@@ -80,7 +79,6 @@ def reduce_contact_network(
         representation of the same window.
     """
     started = time.perf_counter()
-    ten = TimeExpandedNetwork(network)
     horizon = window.intersection(network.horizon) if window else network.horizon
     if horizon is None:
         raise ValueError("reduction window does not overlap the network horizon")

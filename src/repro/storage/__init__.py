@@ -19,7 +19,7 @@ Typical usage::
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Dict
 
 from ..core.config import StorageConfig
 from .blockfile import BlockFile, Extent

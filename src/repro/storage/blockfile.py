@@ -12,7 +12,7 @@ cell/partition while the IO accountant observes the real block access pattern
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Sequence
 
 from ..core.errors import StorageError
 from .buffer import BufferPool

@@ -14,7 +14,7 @@ into fixed-capacity blocks is handled one level up, in
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, List
 
 from ..core.errors import BlockOutOfRangeError, StorageError
 from .stats import IOStats

@@ -15,7 +15,7 @@ bucket), which is what makes it "constant number of IOs".
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Hashable, Iterable, List, Tuple
 
 from ..core.errors import StorageError
 from .buffer import BufferPool

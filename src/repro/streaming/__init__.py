@@ -22,7 +22,13 @@ subpackage keeps the indexes queryable *while* data arrives:
   watermarks plus a global low-watermark and a cross-shard contact join, and
   the :class:`~repro.streaming.coordinator.ShardedReachabilityService`
   fanning queries out across shard overlays
-  (``engine.streaming(shards=N)``).
+  (``engine.streaming(shards=N)``);
+* :mod:`~repro.streaming.async_service` — the asyncio serving front-end:
+  :class:`~repro.streaming.async_service.AsyncReachabilityService` runs one
+  ingest loop per shard behind bounded queues (``await ingest`` backpressures
+  when full), executes merges as background tasks over the frozen prefix, and
+  swaps snapshots in atomically so ``await query`` never blocks on a rebuild
+  (``engine.streaming(async_mode=True)``).
 
 Quickstart
 ----------
@@ -37,10 +43,11 @@ True
 
 from __future__ import annotations
 
+from .async_service import AsyncReachabilityService, AsyncStats
 from .coordinator import ShardedReachabilityService, ShardedStats
 from .delta import ContactSnapshotStore, DeltaGraph, ReachGraphDeltaOverlay
 from .events import ContactEvent, SampleEvent, StreamBatch
-from .experiment import sharded_stream_replay, stream_replay
+from .experiment import async_stream_replay, sharded_stream_replay, stream_replay
 from .ingest import StreamIngestor
 from .policy import (
     AmplificationPolicy,
@@ -51,11 +58,19 @@ from .policy import (
     make_policy,
 )
 from .router import HashRouter, ShardRouter, SpatialCellRouter, make_router
-from .service import QueryResultCache, StreamingReachabilityService, StreamingStats
+from .service import (
+    MergeInputs,
+    QueryResultCache,
+    StreamingReachabilityService,
+    StreamingStats,
+    build_snapshot_overlay,
+)
 from .sharding import CrossShardContactTracker, ShardedStreamIngestor
 from .source import DatasetReplaySource, GeneratorReplaySource, StreamSource, replay
 
 __all__ = [
+    "AsyncReachabilityService",
+    "AsyncStats",
     "SampleEvent",
     "ContactEvent",
     "StreamBatch",
@@ -81,9 +96,12 @@ __all__ = [
     "ShardedStreamIngestor",
     "ShardedReachabilityService",
     "ShardedStats",
+    "MergeInputs",
     "QueryResultCache",
     "StreamingReachabilityService",
     "StreamingStats",
+    "build_snapshot_overlay",
     "stream_replay",
     "sharded_stream_replay",
+    "async_stream_replay",
 ]

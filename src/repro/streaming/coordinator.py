@@ -90,11 +90,16 @@ class ShardedReachabilityService:
         streaming_config: StreamingConfig | None = None,
         storage_config: StorageConfig | None = None,
         name: str = "sharded-stream",
+        auto_merge: bool = True,
     ) -> None:
         self.contact_config = contact_config or ContactConfig()
         self.grid_config = grid_config or ReachGridConfig()
         self.streaming_config = streaming_config or StreamingConfig()
         self.name = name
+        # The asyncio front-end turns auto_merge off and schedules per-shard
+        # merges as background tasks itself (same policy, same low-watermark
+        # bound) so that ingestion never stalls behind a rebuild.
+        self.auto_merge = auto_merge
         num_shards = self.streaming_config.shards
         # Per-shard stacks: the coordinator owns the query cache and triggers
         # merges itself (bounded at the low-watermark), and per-shard
@@ -174,10 +179,17 @@ class ShardedReachabilityService:
         self._maybe_merge_shards()
         return count
 
-    def ingest_shard(self, shard_id: int, batch: StreamBatch) -> int:
-        """Deliver one shard's sub-batch independently (skewed delivery)."""
+    def ingest_shard(
+        self, shard_id: int, batch: StreamBatch, prevalidated: bool = False
+    ) -> int:
+        """Deliver one shard's sub-batch independently (skewed delivery).
+
+        ``prevalidated`` promises the batch came out of :meth:`route_batch`
+        for exactly ``shard_id`` (the asyncio ingest loops feed queues filled
+        that way) and skips the per-sample routing re-check.
+        """
         before = self._ingestor.low_watermark
-        count = self._ingestor.ingest_shard(shard_id, batch)
+        count = self._ingestor.ingest_shard(shard_id, batch, prevalidated=prevalidated)
         if self._ingestor.low_watermark != before:
             self._cache.clear()
         self._maybe_merge_shards()
@@ -199,32 +211,61 @@ class ShardedReachabilityService:
     # merges
     # ------------------------------------------------------------------
     def _maybe_merge_shards(self) -> None:
+        if not self.auto_merge:
+            return
         low = self._ingestor.low_watermark
         if low is None:
             return
         merged = False
-        for shard, policy in zip(self._shards, self._policies):
+        for shard_id in self.shards_due_for_merge():
+            self._shards[shard_id].merge(through=low)
+            merged = True
+        if merged:
+            self._cache.clear()
+
+    def shards_due_for_merge(self, force: bool = False) -> List[int]:
+        """Shard ids whose merge policy fires at the current low-watermark.
+
+        The decision half of the auto-merge loop, split out so the asyncio
+        front-end can apply the same policy while running the actual merges
+        as background tasks instead of inline.  ``force`` skips the policy
+        and returns every shard that *could* merge (has data inside the
+        frozen prefix and an unfrozen tail) — the eligibility half alone.
+        """
+        low = self._ingestor.low_watermark
+        if low is None:
+            return []
+        due: List[int] = []
+        for shard_id, (shard, policy) in enumerate(zip(self._shards, self._policies)):
             ingestor = shard.ingestor
             if ingestor.origin is None or low < ingestor.origin:
                 continue  # shard has no data inside the frozen prefix yet
             if shard.overlay.snapshot_watermark == low:
                 continue  # nothing new to freeze for this shard
-            if policy.should_merge(shard.merge_context(low_watermark=low)):
-                shard.merge(through=low)
-                merged = True
-        if merged:
-            self._cache.clear()
+            if force or policy.should_merge(shard.merge_context(low_watermark=low)):
+                due.append(shard_id)
+        return due
+
+    def invalidate_cache(self) -> None:
+        """Drop every cached query result (bumps the cache generation).
+
+        Called by the asyncio front-end the moment a background merge swaps a
+        shard snapshot in, so no stale pre-swap answer outlives the swap.
+        """
+        self._cache.clear()
 
     def merge(self) -> None:
-        """Force-merge every shard at the current global low-watermark."""
+        """Force-merge every eligible shard at the current global low-watermark.
+
+        Shards whose snapshot already sits at the low-watermark are skipped —
+        re-freezing an identical prefix would rebuild bit-identical contact
+        extents for nothing.
+        """
         low = self._ingestor.low_watermark
         if low is None:
             raise StreamingError("nothing to merge: no shard has a watermark yet")
-        for shard in self._shards:
-            ingestor = shard.ingestor
-            if ingestor.origin is None or low < ingestor.origin:
-                continue
-            shard.merge(through=low)
+        for shard_id in self.shards_due_for_merge(force=True):
+            self._shards[shard_id].merge(through=low)
         self._cache.clear()
 
     # ------------------------------------------------------------------
@@ -324,6 +365,11 @@ class ShardedReachabilityService:
     def shard_services(self) -> List[StreamingReachabilityService]:
         """The per-shard service stacks, in shard order."""
         return list(self._shards)
+
+    @property
+    def query_cache(self) -> QueryResultCache:
+        """The coordinator's query-result cache (hit/miss/generation counters)."""
+        return self._cache
 
     @property
     def low_watermark(self) -> Optional[TimeInstant]:

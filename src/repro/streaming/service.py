@@ -15,6 +15,7 @@ contact network of the ingested prefix.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, Optional, Tuple
@@ -27,6 +28,7 @@ from ..core.config import (
 )
 from ..core.errors import StreamingError
 from ..core.types import QueryResult, ReachabilityQuery, TimeInstant
+from ..contacts.network import Contact
 from ..storage import StorageSystem
 from ..trajectory.model import TrajectoryDataset
 from .delta import ReachGraphDeltaOverlay
@@ -35,20 +37,31 @@ from .ingest import StreamIngestor
 from .policy import MergeContext, make_policy
 from .source import replay
 
-__all__ = ["QueryResultCache", "StreamingReachabilityService", "StreamingStats"]
+__all__ = [
+    "MergeInputs",
+    "QueryResultCache",
+    "StreamingReachabilityService",
+    "StreamingStats",
+    "build_snapshot_overlay",
+]
 
 
 class QueryResultCache:
     """A small LRU cache of query results with hit/miss accounting.
 
-    Shared by the single-shard service and the sharded coordinator; a
-    ``capacity`` of 0 disables caching entirely (every lookup is a miss that
-    is not counted).
+    Shared by the single-shard service, the sharded coordinator, and the
+    asyncio front-end; a ``capacity`` of 0 disables caching entirely (every
+    lookup is a miss that is not counted).  All mutating operations take an
+    internal lock, so an invalidation racing a lookup (a background merge
+    swapping a snapshot in while queries run) can never corrupt the LRU
+    structure or serve an entry that survived the invalidation.
     """
 
     def __init__(self, capacity: int) -> None:
         self.capacity = capacity
         self._entries: "OrderedDict[ReachabilityQuery, QueryResult]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._generation = 0
         self.hits = 0
         self.misses = 0
 
@@ -57,32 +70,84 @@ class QueryResultCache:
         """True when the cache actually stores results."""
         return self.capacity > 0
 
+    @property
+    def generation(self) -> int:
+        """Number of invalidations so far (a snapshot-swap observability hook)."""
+        return self._generation
+
     def get(self, query: ReachabilityQuery) -> Optional[QueryResult]:
         """The cached result for ``query``, bumping its recency, or ``None``."""
         if not self.enabled:
             return None
-        cached = self._entries.get(query)
-        if cached is not None:
-            self._entries.move_to_end(query)
-            self.hits += 1
-            return cached
-        self.misses += 1
-        return None
+        with self._lock:
+            cached = self._entries.get(query)
+            if cached is not None:
+                self._entries.move_to_end(query)
+                self.hits += 1
+                return cached
+            self.misses += 1
+            return None
 
     def put(self, query: ReachabilityQuery, result: QueryResult) -> None:
         """Store a result, evicting least-recently-used entries past capacity."""
         if not self.enabled:
             return
-        self._entries[query] = result
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[query] = result
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
-        """Drop every entry (hit/miss counters are kept)."""
-        self._entries.clear()
+        """Drop every entry (hit/miss counters are kept, the generation bumps)."""
+        with self._lock:
+            self._entries.clear()
+            self._generation += 1
 
     def __len__(self) -> int:
         return len(self._entries)
+
+
+@dataclass(frozen=True, slots=True)
+class MergeInputs:
+    """The frozen prefix a merge folds into a new snapshot.
+
+    Captured synchronously by :meth:`StreamingReachabilityService.prepare_merge`
+    and then handed to :func:`build_snapshot_overlay`, which touches nothing
+    but these values — that purity is what makes it legal to run the build in
+    a background thread while the ingestor keeps moving (the asyncio service
+    does exactly that).
+    """
+
+    prefix: TrajectoryDataset
+    contacts: Tuple[Contact, ...]
+    bound: TimeInstant
+    temporal_resolution: int
+    distance_threshold: float
+    build_reachgraph: bool
+
+
+def build_snapshot_overlay(
+    inputs: MergeInputs, storage_config: StorageConfig | None = None
+) -> ReachGraphDeltaOverlay:
+    """Build a fresh snapshot overlay from captured merge inputs.
+
+    Pure function of ``inputs`` (plus the storage parameters): it allocates
+    its own :class:`~repro.storage.StorageSystem`, reads no live ingestor
+    state, and mutates nothing it did not create — safe to run off-thread
+    while ingestion and queries continue against the old overlay.  The result
+    becomes live only when
+    :meth:`StreamingReachabilityService.adopt_snapshot` swaps it in.
+    """
+    overlay = ReachGraphDeltaOverlay(StorageSystem(storage_config))
+    overlay.install_snapshot(
+        inputs.prefix,
+        inputs.contacts,
+        watermark=inputs.bound,
+        temporal_resolution=inputs.temporal_resolution,
+        distance_threshold=inputs.distance_threshold,
+        build_reachgraph=inputs.build_reachgraph,
+    )
+    return overlay
 
 
 @dataclass(frozen=True, slots=True)
@@ -130,6 +195,7 @@ class StreamingReachabilityService:
         # The sharded coordinator turns auto_merge off and triggers per-shard
         # merges itself, bounded at the global low-watermark.
         self.auto_merge = auto_merge
+        self._storage_config = storage_config
         self._ingestor = StreamIngestor(
             environment_size,
             contact_config=self.contact_config,
@@ -241,29 +307,58 @@ class StreamingReachabilityService:
         prefix at an earlier instant than the watermark (the sharded
         coordinator passes the global low-watermark); closed contacts
         extending past the bound stay in the delta, clipped at the boundary.
+
+        The three phases — :meth:`prepare_merge` (capture the frozen prefix),
+        :func:`build_snapshot_overlay` (pure rebuild), :meth:`adopt_snapshot`
+        (atomic swap) — are public so the asyncio front-end can run the
+        middle phase in a background thread; this method simply runs them
+        back to back.
+        """
+        inputs = self.prepare_merge(through=through)
+        overlay = build_snapshot_overlay(inputs, self._storage_config)
+        self.adopt_snapshot(overlay, inputs.bound)
+
+    def prepare_merge(self, through: Optional[TimeInstant] = None) -> MergeInputs:
+        """Capture the frozen prefix a merge would fold into a snapshot.
+
+        Synchronous and cheap relative to the rebuild: materializes the
+        prefix dataset and its contact set through ``min(through, watermark)``.
+        The returned :class:`MergeInputs` shares no mutable state with the
+        ingestor, so a :func:`build_snapshot_overlay` over it may run
+        concurrently with further ingestion.
         """
         watermark = self._ingestor.watermark
         if watermark is None:
             raise StreamingError("nothing to merge: no batch ingested yet")
         bound = watermark if through is None else min(through, watermark)
         self._sync_delta()
-        prefix = self._ingestor.prefix_dataset(through=bound)
-        contacts = self._ingestor.contacts_through(bound)
-        self._overlay.install_snapshot(
-            prefix,
-            contacts,
-            watermark=bound,
+        return MergeInputs(
+            prefix=self._ingestor.prefix_dataset(through=bound),
+            contacts=tuple(self._ingestor.contacts_through(bound)),
+            bound=bound,
             temporal_resolution=self.grid_config.temporal_resolution,
             distance_threshold=self.contact_config.distance_threshold,
             build_reachgraph=self.streaming_config.build_reachgraph_on_merge,
         )
-        if bound < watermark:
-            # install_snapshot emptied the delta, but closed contacts past the
-            # bound are not in the snapshot — re-stage their unfrozen halves
-            # (add_contact clips them at the new snapshot watermark).
-            for contact in self._ingestor.closed_contacts:
-                if contact.validity.end > bound:
-                    self._overlay.add_contact(contact)
+
+    def adopt_snapshot(
+        self, overlay: ReachGraphDeltaOverlay, bound: TimeInstant
+    ) -> None:
+        """Atomically swap a freshly built snapshot overlay in.
+
+        Restages the unfrozen halves of every closed contact extending past
+        ``bound`` into the new overlay's delta (``add_contact`` clips them at
+        the snapshot watermark), so the swap is correct even when ingestion
+        advanced past the captured prefix while the overlay was being built.
+        No step between the swap and the cache invalidation yields control,
+        which is what keeps concurrently running queries consistent: they see
+        either the old overlay or the fully adopted new one, never a mixture.
+        """
+        self._overlay = overlay
+        for contact in self._ingestor.closed_contacts:
+            if contact.validity.end > bound:
+                self._overlay.add_contact(contact)
+        self._consumed_closed = self._ingestor.num_closed_contacts
         self._intervals_at_merge = self._ingestor.num_flushed_intervals
         self._merges += 1
         self._cache.clear()

@@ -215,11 +215,14 @@ class ShardedStreamIngestor:
         self._ingest_seconds += time.perf_counter() - started
         return len(batch.samples)
 
-    def ingest_shard(self, shard_id: int, batch: StreamBatch) -> int:
-        """Deliver one shard's sub-batch independently (skewed delivery).
+    def validate_shard_batch(self, shard_id: int, batch: StreamBatch) -> None:
+        """Check that a sub-batch belongs on ``shard_id`` without mutating state.
 
-        ``batch`` must contain only samples that route to ``shard_id`` —
-        normally a sub-batch produced by :meth:`route_batch`.
+        Raises :class:`~repro.core.errors.ShardingError` for an out-of-range
+        shard id or any sample the router would send elsewhere.  Split out of
+        :meth:`ingest_shard` so callers that produced the sub-batch via
+        :meth:`route_batch` (the asyncio ingest loops drain queues filled that
+        way) can skip the per-sample re-check with ``prevalidated=True``.
         """
         if not 0 <= shard_id < self.num_shards:
             raise ShardingError(
@@ -232,6 +235,23 @@ class ShardedStreamIngestor:
                     f"sample for object {event.object_id} routes to shard "
                     f"{routed}, not {shard_id}"
                 )
+
+    def ingest_shard(
+        self, shard_id: int, batch: StreamBatch, prevalidated: bool = False
+    ) -> int:
+        """Deliver one shard's sub-batch independently (skewed delivery).
+
+        ``batch`` must contain only samples that route to ``shard_id`` —
+        normally a sub-batch produced by :meth:`route_batch`.  ``prevalidated``
+        promises the caller just did exactly that and skips the routing
+        re-check (the shard ingestor still validates the stream contract).
+        """
+        if not prevalidated:
+            self.validate_shard_batch(shard_id, batch)
+        elif not 0 <= shard_id < self.num_shards:
+            raise ShardingError(
+                f"shard id {shard_id} out of range [0, {self.num_shards})"
+            )
         started = time.perf_counter()
         self._sinks[shard_id].ingest(batch)
         self._tracker.observe(batch.samples)

@@ -10,7 +10,7 @@ whose batch ground truth is already known.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Protocol
+from typing import Iterator, Protocol
 
 from ..core.errors import StreamingError
 from ..trajectory.model import TrajectoryDataset

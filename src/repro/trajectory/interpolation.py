@@ -9,7 +9,7 @@ the other direction (used by tests and by the sparse-GPS generator).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from ..core.errors import TrajectoryError
 from ..core.types import Point, TimeInstant

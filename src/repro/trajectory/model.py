@@ -9,8 +9,8 @@ time window, which is the unit ReachGrid stores in its cells.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
 from ..core.errors import TrajectoryError, UnknownObjectError
 from ..core.types import ObjectId, Point, TimeInstant, TimeInterval

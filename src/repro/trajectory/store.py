@@ -15,7 +15,7 @@ from typing import Dict, Iterator, List, Tuple
 from ..core.errors import IndexNotBuiltError
 from ..core.types import ObjectId, TimeInstant, TimeInterval
 from ..storage import StorageSystem
-from .model import Trajectory, TrajectoryDataset, TrajectorySample
+from .model import TrajectoryDataset, TrajectorySample
 
 __all__ = ["TrajectoryStore"]
 

@@ -13,7 +13,7 @@ Every spec is deterministic (fixed seed) so experiments are reproducible.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Tuple
+from typing import Dict, Tuple
 
 from ..core.config import ContactConfig, ReachGridConfig
 from ..core.errors import DatasetError

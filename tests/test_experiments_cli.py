@@ -115,6 +115,7 @@ class TestExperimentDrivers:
             "table5",
             "stream",
             "stream-sharded",
+            "stream-async",
         }
 
     def test_table1_is_static(self):

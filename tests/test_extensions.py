@@ -2,11 +2,10 @@
 
 from __future__ import annotations
 
-import math
 
 import pytest
 
-from repro.contacts import Contact, ContactNetwork
+from repro.contacts import Contact
 from repro.core import ContactNetworkError, Point, QueryError, ReachabilityQuery, TimeInterval
 from repro.extensions import (
     NonImmediateContact,

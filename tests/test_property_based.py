@@ -2,9 +2,7 @@
 
 from __future__ import annotations
 
-import math
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -12,7 +10,7 @@ from repro.contacts import Contact, build_contact_network, pairs_within_distance
 from repro.core import Point, TimeInterval
 from repro.baselines import earliest_arrival
 from repro.storage import BufferPool, SimulatedDisk
-from repro.trajectory import MBR, Trajectory, TrajectoryDataset
+from repro.trajectory import MBR
 
 # ----------------------------------------------------------------------
 # strategies

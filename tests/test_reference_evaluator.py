@@ -7,7 +7,6 @@ not reachable from o4 during [0, 1]."
 
 from __future__ import annotations
 
-import pytest
 
 from repro.baselines import earliest_arrival, evaluate_reachability, reachable_set
 from repro.core import ReachabilityQuery, TimeInterval

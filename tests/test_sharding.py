@@ -38,7 +38,6 @@ from repro.streaming import (
     ShardedReachabilityService,
     ShardedStreamIngestor,
     SpatialCellRouter,
-    StreamBatch,
     StreamIngestor,
     StreamingReachabilityService,
     make_router,

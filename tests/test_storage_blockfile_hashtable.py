@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core import StorageConfig, StorageError
-from repro.storage import BlockFile, BufferPool, ExternalHashTable, SimulatedDisk, StorageSystem
+from repro.storage import BlockFile, StorageSystem
 
 
 @pytest.fixture()

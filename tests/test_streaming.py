@@ -12,8 +12,6 @@ from __future__ import annotations
 import pytest
 
 from equivalence import assert_methods_agree, prefix_network, reference_evaluator
-from repro.baselines.reference import evaluate_reachability
-from repro.contacts import build_contact_network
 from repro.core import (
     ConfigurationError,
     Point,
