@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from repro.streaming.experiment import (
     async_stream_replay,
+    disk_backend_replay,
     sharded_stream_replay,
     stream_replay,
 )
@@ -88,3 +89,33 @@ def test_async_vs_sync_serving(benchmark):
     # ones ran as background tasks.
     assert by_mode["async"]["merges"] > 0
     assert by_mode["sync"]["merges"] > 0
+
+
+def test_storage_backend_comparison(benchmark):
+    """The ``stream-disk`` benchmark: sim vs file vs mmap on one stream.
+
+    Every backend drains the identical replayed stream behind the same
+    ``StorageSystem`` interface, so the IO columns are directly comparable;
+    the persistent rows additionally close, reopen, and re-answer the
+    workload from the backing files.
+    """
+    result = run_experiment(
+        benchmark,
+        disk_backend_replay,
+        dataset_names=("rwp-small",),
+        backends=("sim", "file", "mmap"),
+        batch_ticks=8,
+        num_queries=12,
+    )
+    assert [row["backend"] for row in result.rows] == ["sim", "file", "mmap"]
+    by_backend = {row["backend"]: row for row in result.rows}
+    ios = {row["backend"]: row["mean_query_io"] for row in result.rows}
+    # Normalized IO is a property of layout + access pattern, not of the
+    # device implementation: all three backends must charge identically.
+    assert len(set(ios.values())) == 1, ios
+    for row in result.rows:
+        assert row["ingest_events_per_sec"] > 0
+        assert row["matches"] == "12/12"
+    assert by_backend["sim"]["reopen_matches"] == "n/a"
+    for backend in ("file", "mmap"):
+        assert by_backend[backend]["reopen_matches"] == "12/12"

@@ -59,7 +59,7 @@ class GrailIndex:
     ) -> None:
         self.dag = dag
         self.config = config or GrailConfig()
-        self.storage = StorageSystem(storage_config)
+        self.storage = StorageSystem(storage_config, name="grail", attach=False)
         self._vertex_file = self.storage.new_blockfile("grail-vertices")
         self._labels: List[Tuple[Label, ...]] = []
         self._records_per_extent = self.storage.config.block_size

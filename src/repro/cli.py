@@ -8,8 +8,10 @@ Usage::
     python -m repro.cli figure14 --quick     # smaller workloads, faster run
     python -m repro.cli stream --quick       # streaming ingest vs batch rebuild
     python -m repro.cli stream --shards 4    # ... on 4 ingestion shards
+    python -m repro.cli stream --storage-backend file  # ... on a real block file
     python -m repro.cli stream-sharded       # shard-count scaling curve
     python -m repro.cli stream-async --concurrency 8  # sync vs asyncio serving
+    python -m repro.cli stream-disk          # sim vs file vs mmap comparison
     python -m repro.cli table5 --json out.json  # machine-readable results too
 """
 
@@ -19,6 +21,7 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from .core.config import STORAGE_BACKENDS
 from .experiments.figures import EXPERIMENTS
 from .experiments.report import format_result, format_results_json
 
@@ -41,6 +44,7 @@ _QUICK_OVERRIDES = {
     "stream": {"dataset_names": ("rwp-tiny",), "num_queries": 6},
     "stream-sharded": {"dataset_names": ("rwp-tiny",), "num_queries": 6, "shard_counts": (1, 2, 4)},
     "stream-async": {"dataset_names": ("rwp-tiny",), "num_queries": 6, "queries_per_batch": 2},
+    "stream-disk": {"dataset_names": ("rwp-tiny",), "num_queries": 6},
 }
 
 #: How --shards N is injected, per experiment that understands sharding.
@@ -48,6 +52,15 @@ _SHARD_KWARGS = {
     "stream": lambda shards: {"shards": shards},
     "stream-sharded": lambda shards: {"shard_counts": (shards,)},
     "stream-async": lambda shards: {"shards": shards},
+}
+
+#: How --storage-backend NAME is injected, per experiment that runs its
+#: streaming services behind a selectable block device.
+_STORAGE_BACKEND_KWARGS = {
+    "stream": lambda backend: {"storage_backend": backend},
+    "stream-sharded": lambda backend: {"storage_backend": backend},
+    "stream-async": lambda backend: {"storage_backend": backend},
+    "stream-disk": lambda backend: {"backends": (backend,)},
 }
 
 #: How --concurrency N is injected, per experiment that serves queries
@@ -111,6 +124,15 @@ def build_parser() -> argparse.ArgumentParser:
             f"(applies to: {', '.join(sorted(_CONCURRENCY_KWARGS))})"
         ),
     )
+    parser.add_argument(
+        "--storage-backend",
+        choices=STORAGE_BACKENDS,
+        default=None,
+        help=(
+            "run streaming experiments on this block-device backend "
+            f"(applies to: {', '.join(sorted(_STORAGE_BACKEND_KWARGS))})"
+        ),
+    )
     return parser
 
 
@@ -119,6 +141,7 @@ def _run_one(
     quick: bool,
     shards: Optional[int] = None,
     concurrency: Optional[int] = None,
+    storage_backend: Optional[str] = None,
 ):
     driver = EXPERIMENTS[name]
     kwargs = dict(_QUICK_OVERRIDES.get(name, {})) if quick else {}
@@ -126,6 +149,8 @@ def _run_one(
         kwargs.update(_SHARD_KWARGS[name](shards))
     if concurrency is not None and name in _CONCURRENCY_KWARGS:
         kwargs.update(_CONCURRENCY_KWARGS[name](concurrency))
+    if storage_backend is not None and name in _STORAGE_BACKEND_KWARGS:
+        kwargs.update(_STORAGE_BACKEND_KWARGS[name](storage_backend))
     return driver(**kwargs)
 
 
@@ -160,7 +185,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"running {name} ...", file=sys.stderr)
         results.append(
             _run_one(
-                name, args.quick, shards=args.shards, concurrency=args.concurrency
+                name,
+                args.quick,
+                shards=args.shards,
+                concurrency=args.concurrency,
+                storage_backend=args.storage_backend,
             )
         )
     report = "\n\n".join(format_result(result) for result in results)

@@ -27,12 +27,20 @@ __all__ = [
     "StreamingConfig",
     "MERGE_POLICIES",
     "SHARD_ROUTERS",
+    "SNAPSHOT_MODES",
+    "STORAGE_BACKENDS",
     "DEFAULT_RESOLUTIONS",
 ]
 
 #: Long-edge resolutions used by the paper's optimal ReachGraph (Section
 #: 6.2.1.4): HN = DN1 ∪ DN2 ∪ ... ∪ DN32.
 DEFAULT_RESOLUTIONS: Tuple[int, ...] = (2, 4, 8, 16, 32)
+
+#: Block-device backends understood by :class:`StorageConfig` (implemented in
+#: :mod:`repro.storage.backends`): ``sim`` is the in-memory simulated disk the
+#: paper's figures run on, ``file`` an append-only block file with an explicit
+#: page cache and fsync'd flush, ``mmap`` a memory-mapped block array.
+STORAGE_BACKENDS: Tuple[str, ...] = ("sim", "file", "mmap")
 
 
 @dataclass(frozen=True, slots=True)
@@ -52,11 +60,31 @@ class StorageConfig:
     sequential_cost:
         How many sequential accesses cost as much as one random access.  The
         paper normalizes with a factor of 20 (citing Corral et al.).
+    backend:
+        One of :data:`STORAGE_BACKENDS` — which block device implementation
+        a :class:`~repro.storage.StorageSystem` places its blocks on.
+    storage_dir:
+        Directory holding the backing files of persistent backends.  ``None``
+        (the default) uses a private temporary directory that is removed when
+        the storage system is garbage collected — set a real directory to get
+        close/reopen persistence.
+    page_cache_blocks:
+        Capacity of the ``file`` backend's explicit page cache, in blocks
+        (``0`` disables it).  Distinct from ``buffer_blocks``: the buffer
+        pool models IO-free re-reads, the page cache merely skips repeated
+        payload decoding for blocks that are physically read again.
+    mmap_slot_bytes:
+        Fixed slot size of the ``mmap`` backend; payloads pickling past it
+        spill into the backend's overflow table.
     """
 
     block_size: int = 16
     buffer_blocks: int = 256
     sequential_cost: int = 20
+    backend: str = "sim"
+    storage_dir: str | None = None
+    page_cache_blocks: int = 64
+    mmap_slot_bytes: int = 4096
 
     def __post_init__(self) -> None:
         if self.block_size <= 0:
@@ -65,6 +93,23 @@ class StorageConfig:
             raise ConfigurationError("buffer_blocks must be positive")
         if self.sequential_cost <= 0:
             raise ConfigurationError("sequential_cost must be positive")
+        if self.backend not in STORAGE_BACKENDS:
+            raise ConfigurationError(
+                f"unknown storage backend {self.backend!r}; "
+                f"choose one of {', '.join(STORAGE_BACKENDS)}"
+            )
+        if self.page_cache_blocks < 0:
+            raise ConfigurationError("page_cache_blocks must be non-negative")
+        if self.mmap_slot_bytes <= 8:
+            raise ConfigurationError("mmap_slot_bytes must exceed the slot header")
+
+    def with_backend(
+        self, backend: str, storage_dir: str | None = None
+    ) -> "StorageConfig":
+        """Copy of this config on a different backend (and optional directory)."""
+        if storage_dir is None:
+            return replace(self, backend=backend)
+        return replace(self, backend=backend, storage_dir=storage_dir)
 
 
 @dataclass(frozen=True, slots=True)
@@ -165,6 +210,13 @@ MERGE_POLICIES: Tuple[str, ...] = ("delta-size", "elapsed-intervals", "amplifica
 #: the spatial grid cell it was first observed in.
 SHARD_ROUTERS: Tuple[str, ...] = ("hash", "spatial")
 
+#: How a streaming merge writes the new snapshot's contact extents (see
+#: :mod:`repro.streaming.delta`): ``lsm`` appends only the freshly frozen
+#: contacts as a new run and folds runs with a background compaction, while
+#: ``rebuild`` rewrites the complete prefix from scratch on every merge (the
+#: pre-LSM behaviour, kept for write-amplification comparisons).
+SNAPSHOT_MODES: Tuple[str, ...] = ("lsm", "rebuild")
+
 
 @dataclass(frozen=True, slots=True)
 class StreamingConfig:
@@ -212,6 +264,15 @@ class StreamingConfig:
         front-end (:class:`~repro.streaming.async_service.AsyncReachabilityService`,
         ``engine.streaming(async_mode=True)``).  A full queue backpressures
         ``await ingest(...)`` until the shard's ingest loop catches up.
+    snapshot_mode:
+        One of :data:`SNAPSHOT_MODES` — ``lsm`` (default) appends each merge's
+        freshly frozen contacts as a new snapshot run and compacts runs in the
+        background, ``rebuild`` rewrites the complete snapshot from scratch on
+        every merge (the pre-LSM write path, kept for comparisons).
+    compaction_max_runs:
+        Run-count threshold of the LSM path: once a merge leaves more than
+        this many live runs, a compaction folds them into one (superseding
+        the old extents).  Ignored in ``rebuild`` mode.
     """
 
     batch_ticks: int = 8
@@ -224,6 +285,8 @@ class StreamingConfig:
     shards: int = 1
     router: str = "hash"
     async_queue_depth: int = 4
+    snapshot_mode: str = "lsm"
+    compaction_max_runs: int = 4
 
     def __post_init__(self) -> None:
         if self.batch_ticks <= 0:
@@ -250,6 +313,13 @@ class StreamingConfig:
             )
         if self.async_queue_depth <= 0:
             raise ConfigurationError("async_queue_depth must be positive")
+        if self.snapshot_mode not in SNAPSHOT_MODES:
+            raise ConfigurationError(
+                f"unknown snapshot mode {self.snapshot_mode!r}; "
+                f"choose one of {', '.join(SNAPSHOT_MODES)}"
+            )
+        if self.compaction_max_runs <= 0:
+            raise ConfigurationError("compaction_max_runs must be positive")
 
     def with_merge_policy(self, policy: str) -> "StreamingConfig":
         """Copy of this config with a different merge policy."""

@@ -30,7 +30,7 @@ from ..core.config import (
     StorageConfig,
     StreamingConfig,
 )
-from ..core.errors import IndexNotBuiltError, QueryError
+from ..core.errors import ConfigurationError, IndexNotBuiltError, QueryError
 from ..core.types import QueryResult, ReachabilityQuery
 from ..contacts.join import build_contact_network
 from ..contacts.network import ContactNetwork
@@ -151,6 +151,8 @@ class ReachabilityEngine:
         shards: int | None = None,
         router: str | None = None,
         async_mode: bool = False,
+        storage_backend: str | None = None,
+        storage_dir: str | None = None,
     ):
         """A streaming reachability service configured like this engine
         (same contact and storage parameters).
@@ -171,11 +173,35 @@ class ReachabilityEngine:
         (``await ingest`` / ``await query`` with per-shard ingest loops and
         background merges) over the configured shard count; feed it with
         ``await service.replay(engine.dataset)`` from a running event loop.
+
+        ``storage_backend`` overrides this engine's block-device backend for
+        the service (one of ``STORAGE_BACKENDS``: ``sim``, ``file``,
+        ``mmap``), and ``storage_dir`` pins the persistent backends' files to
+        a real directory so the service's queryable state survives
+        ``service.close()``.  Reopening that state with
+        :meth:`repro.streaming.SnapshotQueryService.open` is supported for
+        the unsharded synchronous service (the default); the sharded and
+        async services close durably per shard, but no unioned reopen path
+        exists for them yet (see ROADMAP).
         """
         config = streaming_config or StreamingConfig()
         if shards is not None or router is not None:
             config = config.with_shards(
                 config.shards if shards is None else shards, router=router
+            )
+        storage_config = self.storage_config
+        if storage_backend is not None or storage_dir is not None:
+            effective = storage_backend or storage_config.backend
+            if storage_dir is not None and effective == "sim":
+                # Accepting the directory while the in-memory backend ignores
+                # it would silently drop the persistence the caller asked for.
+                raise ConfigurationError(
+                    "storage_dir requires a persistent storage_backend "
+                    "('file' or 'mmap'); the 'sim' backend keeps blocks in "
+                    "memory and would never write to it"
+                )
+            storage_config = storage_config.with_backend(
+                effective, storage_dir=storage_dir
             )
         if async_mode:
             from ..streaming.async_service import AsyncReachabilityService
@@ -185,7 +211,7 @@ class ReachabilityEngine:
                 contact_config=self.contact_config,
                 grid_config=grid_config,
                 streaming_config=config,
-                storage_config=self.storage_config,
+                storage_config=storage_config,
             )
         if config.shards > 1:
             from ..streaming.coordinator import ShardedReachabilityService
@@ -195,7 +221,7 @@ class ReachabilityEngine:
                 contact_config=self.contact_config,
                 grid_config=grid_config,
                 streaming_config=config,
-                storage_config=self.storage_config,
+                storage_config=storage_config,
             )
         from ..streaming.service import StreamingReachabilityService
 
@@ -204,7 +230,7 @@ class ReachabilityEngine:
             contact_config=self.contact_config,
             grid_config=grid_config,
             streaming_config=config,
-            storage_config=self.storage_config,
+            storage_config=storage_config,
         )
 
     def build_grail(self, config: GrailConfig | None = None):

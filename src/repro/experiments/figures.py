@@ -686,6 +686,13 @@ def _async_stream_replay(**kwargs) -> ExperimentResult:
     return async_stream_replay(**kwargs)
 
 
+def _disk_backend_replay(**kwargs) -> ExperimentResult:
+    """Storage backends: ingest/query cost and reopen fidelity per backend."""
+    from ..streaming.experiment import disk_backend_replay
+
+    return disk_backend_replay(**kwargs)
+
+
 EXPERIMENTS = {
     "table1": table1_complexity,
     "figure8": figure8_grid_resolution,
@@ -703,4 +710,5 @@ EXPERIMENTS = {
     "stream": _stream_replay,
     "stream-sharded": _sharded_stream_replay,
     "stream-async": _async_stream_replay,
+    "stream-disk": _disk_backend_replay,
 }

@@ -89,7 +89,7 @@ class ReachGraphIndex:
         self.dataset = dataset
         self.config = config or ReachGraphConfig()
         self.contact_config = contact_config or ContactConfig()
-        self.storage = StorageSystem(storage_config)
+        self.storage = StorageSystem(storage_config, name="reachgraph", attach=False)
         self._provided_network = contact_network
         self._partitions_file = self.storage.new_blockfile("reachgraph-partitions")
         self._object_index = self.storage.new_hashtable("reachgraph-object-index")

@@ -59,7 +59,7 @@ class ReachGridIndex:
         self.dataset = dataset
         self.config = config or ReachGridConfig()
         self.contact_config = contact_config or ContactConfig()
-        self.storage = StorageSystem(storage_config)
+        self.storage = StorageSystem(storage_config, name="reachgrid", attach=False)
         self.geometry = GridGeometry(
             horizon=dataset.horizon,
             environment_size=dataset.environment_size,

@@ -1,8 +1,12 @@
-"""Simulated disk-resident storage substrate.
+"""Disk-resident storage substrate with pluggable block-device backends.
 
 This subpackage stands in for the physical storage of the paper's testbed
 (Table 3): a block device with a buffer pool, record-packed block files, and
 external hash tables, all instrumented with random/sequential IO accounting.
+The block device itself is pluggable (:mod:`repro.storage.backends`): the
+default ``sim`` backend keeps blocks in memory exactly as the original
+reproduction did, while the ``file`` and ``mmap`` backends place them in real
+files with durable close/reopen semantics.
 
 Typical usage::
 
@@ -15,13 +19,33 @@ Typical usage::
     before = storage.snapshot()
     blockfile.read_extent("cell-0")
     charged = storage.charge_since(before)
+
+Persistent usage adds a durability cycle::
+
+    config = StorageConfig(backend="file", storage_dir="/data/run1")
+    storage = StorageSystem(config, name="grid")
+    ...
+    storage.close()                              # fsync + durable catalog
+    reopened = StorageSystem(config, name="grid")  # same files, same extents
 """
 
 from __future__ import annotations
 
-from typing import Dict
+import os
+import tempfile
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.config import StorageConfig
+from ..core.errors import StorageError
+from .backends import (
+    BACKEND_FILE_SUFFIX,
+    STORAGE_BACKENDS,
+    FileBackend,
+    MmapBackend,
+    SimulatedBackend,
+    StorageBackend,
+    make_backend,
+)
 from .blockfile import BlockFile, Extent
 from .buffer import BufferPool
 from .disk import SimulatedDisk
@@ -29,7 +53,13 @@ from .hashtable import ExternalHashTable
 from .stats import IOSnapshot, IOStats
 
 __all__ = [
+    "STORAGE_BACKENDS",
+    "StorageBackend",
+    "SimulatedBackend",
     "SimulatedDisk",
+    "FileBackend",
+    "MmapBackend",
+    "make_backend",
     "BufferPool",
     "BlockFile",
     "Extent",
@@ -39,26 +69,73 @@ __all__ = [
     "StorageSystem",
 ]
 
+#: Metadata key under which the file/table catalog is persisted.
+_CATALOG_KEY = "storage-system-catalog"
+
 
 class StorageSystem:
-    """Convenience bundle of one disk + one buffer pool + named files.
+    """Convenience bundle of one block device + one buffer pool + named files.
 
     Every index owns a :class:`StorageSystem`; the benchmark harness reads the
-    IO counters from here after running a query.
+    IO counters from here after running a query.  ``name`` becomes the stem of
+    the backing file when the configured backend is persistent — two systems
+    sharing a ``storage_dir`` must use distinct names.  Creating a system
+    whose backing file already exists *attaches* to it: blocks, block-file
+    extents, and hash-table directories are restored from the durable catalog
+    written by :meth:`flush`/:meth:`close`.  Write-path owners (index builds,
+    stream ingestors) pass ``attach=False`` instead, which removes any
+    leftover files first — a new index starts from an empty device even when
+    a previous run wrote to the same directory and name.
     """
 
-    def __init__(self, config: StorageConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: StorageConfig | None = None,
+        name: str = "storage",
+        attach: bool = True,
+    ) -> None:
         self.config = config or StorageConfig()
-        self.disk = SimulatedDisk(sequential_cost=self.config.sequential_cost)
+        self.name = name
+        self._tempdir: Optional[tempfile.TemporaryDirectory] = None
+        self.disk = make_backend(self.config, path=self._device_path(attach))
         self.buffer_pool = BufferPool(self.disk, capacity=self.config.buffer_blocks)
         self._files: Dict[str, BlockFile] = {}
         self._tables: Dict[str, ExternalHashTable] = {}
+        catalog = self.disk.get_metadata(_CATALOG_KEY)
+        if catalog is not None:
+            self._restore_catalog(catalog)
+
+    def _device_path(self, attach: bool) -> Optional[str]:
+        if self.config.backend == SimulatedBackend.name:
+            return None
+        directory = self.config.storage_dir
+        if directory is None:
+            # Anonymous persistent storage: a private scratch directory that
+            # is removed when this system is garbage collected (there is no
+            # stable path to reopen, so keeping the files would only leak).
+            self._tempdir = tempfile.TemporaryDirectory(prefix="repro-storage-")
+            directory = self._tempdir.name
+        else:
+            os.makedirs(directory, exist_ok=True)
+        suffix = BACKEND_FILE_SUFFIX[self.config.backend]
+        path = os.path.join(directory, f"{self.name}{suffix}")
+        if not attach:
+            # Manifest first: a crash between the two removals must never
+            # leave a manifest pointing into a device file that is gone (the
+            # reverse order would make the next attach half-trust stale
+            # directory offsets against an empty log).
+            for stale in (path + ".manifest", path):
+                if os.path.exists(stale):
+                    os.remove(stale)
+        return path
 
     # ------------------------------------------------------------------
     # factories
     # ------------------------------------------------------------------
     def new_blockfile(self, name: str, records_per_block: int | None = None) -> BlockFile:
         """Create (and register) a new block file on this storage system."""
+        if name in self._files:
+            raise StorageError(f"block file {name!r} already exists in {self.name!r}")
         blockfile = BlockFile(
             self.disk,
             self.buffer_pool,
@@ -70,6 +147,8 @@ class StorageSystem:
 
     def new_hashtable(self, name: str) -> ExternalHashTable:
         """Create (and register) a new external hash table."""
+        if name in self._tables:
+            raise StorageError(f"hash table {name!r} already exists in {self.name!r}")
         table = ExternalHashTable(self.disk, self.buffer_pool, name=name)
         self._tables[name] = table
         return table
@@ -81,6 +160,104 @@ class StorageSystem:
     def hashtable(self, name: str) -> ExternalHashTable:
         """Return a previously created hash table by name."""
         return self._tables[name]
+
+    def has_blockfile(self, name: str) -> bool:
+        """True when a block file named ``name`` is registered."""
+        return name in self._files
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    @property
+    def persistent(self) -> bool:
+        """True when blocks survive :meth:`close` and can be reopened."""
+        return self.disk.persistent
+
+    @property
+    def path(self) -> Optional[str]:
+        """Path of the backing device file (``None`` for the sim backend)."""
+        return self.disk.path
+
+    def put_metadata(self, key: str, value: Any) -> None:
+        """Stash a picklable value on the device (durable after :meth:`flush`)."""
+        self.disk.put_metadata(key, value)
+
+    def get_metadata(self, key: str, default: Any = None) -> Any:
+        """Return a value stashed with :meth:`put_metadata`, or ``default``."""
+        return self.disk.get_metadata(key, default)
+
+    def flush(self) -> None:
+        """Write back dirty buffers, persist the catalog, fsync the device.
+
+        A no-op beyond the buffer write-back for the sim backend.  After a
+        flush, a crash loses nothing written so far; after :meth:`close`, the
+        system can be reopened by constructing a new :class:`StorageSystem`
+        with the same config and name.
+        """
+        self.buffer_pool.flush()
+        self.disk.put_metadata(_CATALOG_KEY, self._build_catalog())
+        self.disk.flush()
+
+    def close(self) -> None:
+        """Flush everything and release the device.  Idempotent."""
+        if not self.disk.closed:
+            self.flush()
+            self.disk.close()
+        if self._tempdir is not None:
+            self._tempdir.cleanup()
+            self._tempdir = None
+
+    def destroy(self) -> None:
+        """Release the device and delete its backing files.  Idempotent.
+
+        For storage systems nothing will ever reopen — a superseded
+        rebuild-mode overlay, a scratch build that failed: no final manifest
+        is written (the data is being abandoned) and the device files are
+        removed so a long-lived owner does not grow its storage directory
+        with unreachable state.
+        """
+        path = self.disk.path
+        self.disk.discard()
+        if path is not None:
+            for stale in (path + ".manifest", path):
+                if os.path.exists(stale):
+                    os.remove(stale)
+        if self._tempdir is not None:
+            self._tempdir.cleanup()
+            self._tempdir = None
+
+    def _build_catalog(self) -> Dict[str, Any]:
+        files: List[Tuple[str, int, List[Tuple[Any, int, int, int]]]] = []
+        for name, blockfile in self._files.items():
+            extents = [
+                (extent.key, extent.first_block, extent.num_blocks, extent.num_records)
+                for extent in (blockfile.extent(key) for key in blockfile.extent_keys())
+            ]
+            files.append((name, blockfile.records_per_block, extents))
+        tables = [
+            (name, list(table.bucket_blocks)) for name, table in self._tables.items()
+        ]
+        return {"files": files, "tables": tables}
+
+    def _restore_catalog(self, catalog: Dict[str, Any]) -> None:
+        for name, records_per_block, extents in catalog["files"]:
+            blockfile = BlockFile(
+                self.disk,
+                self.buffer_pool,
+                records_per_block=records_per_block,
+                name=name,
+            )
+            blockfile.adopt_extents(
+                [
+                    Extent(key=key, first_block=first, num_blocks=blocks, num_records=records)
+                    for key, first, blocks, records in extents
+                ]
+            )
+            self._files[name] = blockfile
+        for name, bucket_blocks in catalog["tables"]:
+            table = ExternalHashTable(self.disk, self.buffer_pool, name=name)
+            table.adopt_buckets(bucket_blocks)
+            self._tables[name] = table
 
     # ------------------------------------------------------------------
     # accounting helpers
@@ -115,6 +292,7 @@ class StorageSystem:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"StorageSystem(blocks={self.disk.num_blocks}, "
-            f"files={list(self._files)}, tables={list(self._tables)})"
+            f"StorageSystem(name={self.name!r}, backend={self.config.backend!r}, "
+            f"blocks={self.disk.num_blocks}, files={list(self._files)}, "
+            f"tables={list(self._tables)})"
         )

@@ -1,0 +1,92 @@
+"""Pluggable block-device backends behind one storage contract.
+
+Three implementations of :class:`~repro.storage.backends.base.StorageBackend`
+ship with the library, selected by ``StorageConfig.backend``:
+
+``sim`` (default)
+    The in-memory simulated device the paper's figures are regenerated on —
+    IO accounting without any real disk.
+``file``
+    An append-only block file with an explicit LRU page cache, fsync'd
+    :meth:`flush`, and a manifest sidecar enabling close/reopen persistence.
+``mmap``
+    A memory-mapped array of fixed-size slots (OS-paged reads/writes) with
+    an overflow table for oversized payloads.
+
+All three share the exact same IO accounting (sequential vs random
+classification, normalized IO), so experiment numbers remain comparable
+across backends; the conformance suite in ``tests/test_storage_backends.py``
+runs one shared battery against every backend to keep it that way.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+from ...core.config import STORAGE_BACKENDS, StorageConfig
+from ...core.errors import StorageError
+from .base import StorageBackend
+from .file import FileBackend
+from .mmapfile import MmapBackend
+from .sim import SimulatedBackend
+
+__all__ = [
+    "STORAGE_BACKENDS",
+    "BACKEND_CLASSES",
+    "BACKEND_FILE_SUFFIX",
+    "StorageBackend",
+    "SimulatedBackend",
+    "FileBackend",
+    "MmapBackend",
+    "make_backend",
+]
+
+#: Backend classes by canonical name (the values ``StorageConfig.backend``
+#: accepts; the names themselves are defined next to the config to avoid a
+#: core → storage import cycle).
+BACKEND_CLASSES: Dict[str, Type[StorageBackend]] = {
+    SimulatedBackend.name: SimulatedBackend,
+    FileBackend.name: FileBackend,
+    MmapBackend.name: MmapBackend,
+}
+
+#: Suffix of the backing file created by each persistent backend.
+BACKEND_FILE_SUFFIX: Dict[str, str] = {
+    FileBackend.name: ".blocks",
+    MmapBackend.name: ".mmap",
+}
+
+assert set(BACKEND_CLASSES) == set(STORAGE_BACKENDS)
+
+
+def make_backend(config: StorageConfig, path: Optional[str] = None) -> StorageBackend:
+    """Instantiate the backend ``config`` asks for.
+
+    ``path`` locates the backing file of a persistent backend (creating it
+    when absent, attaching when it already exists); the simulated backend
+    ignores it.  :class:`~repro.storage.StorageSystem` derives the path from
+    ``config.storage_dir`` and its own name — call this directly only when
+    managing device files by hand.
+    """
+    if config.backend == SimulatedBackend.name:
+        return SimulatedBackend(sequential_cost=config.sequential_cost)
+    if path is None:
+        raise StorageError(
+            f"backend {config.backend!r} is persistent and needs a path"
+        )
+    if config.backend == FileBackend.name:
+        return FileBackend(
+            path,
+            sequential_cost=config.sequential_cost,
+            page_cache_blocks=config.page_cache_blocks,
+        )
+    if config.backend == MmapBackend.name:
+        return MmapBackend(
+            path,
+            sequential_cost=config.sequential_cost,
+            slot_bytes=config.mmap_slot_bytes,
+        )
+    raise StorageError(
+        f"unknown storage backend {config.backend!r}; "
+        f"choose one of {', '.join(STORAGE_BACKENDS)}"
+    )

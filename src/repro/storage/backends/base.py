@@ -1,0 +1,262 @@
+"""The storage-backend contract shared by every block device implementation.
+
+The paper's experiments measure index behaviour on a *block device*: what
+matters to every layer above (buffer pool, block files, hash tables, snapshot
+stores) is the block API — allocate / read / write — plus the random-vs-
+sequential IO accounting the evaluation normalizes with.  This module factors
+that contract out of the original in-memory ``SimulatedDisk`` so real
+persistent devices (an append-only block file, a memory-mapped block array)
+can slot in behind the same interface.
+
+Concrete backends implement four primitives — :meth:`_grow`,
+:meth:`_store`, :meth:`_load`, and (for persistent devices)
+:meth:`_flush_device` / :meth:`_close_device` — and inherit the block
+bookkeeping, bounds checks, IO accounting, and lifecycle guards from
+:class:`StorageBackend`.  Blocks hold arbitrary picklable Python payloads
+(one payload per block); record packing into fixed-capacity blocks happens
+one level up, in :mod:`repro.storage.blockfile`.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from abc import ABC, abstractmethod
+from typing import Any, ClassVar, Dict, List, Optional
+
+from ...core.errors import BlockOutOfRangeError, StorageError
+from ..stats import IOStats
+
+__all__ = ["StorageBackend", "load_manifest_sidecar", "write_manifest_sidecar"]
+
+
+def write_manifest_sidecar(path: str, manifest: Dict[str, Any]) -> None:
+    """Atomically replace the manifest sidecar at ``path``.
+
+    The durability-critical half of every persistent backend's flush, kept in
+    one place so its guarantees cannot drift between backends: the pickled
+    manifest is written to a temporary file, fsync'd, and moved into place
+    with :func:`os.replace` — a crash leaves either the old manifest or the
+    new one, never a torn mixture.
+    """
+    temp_path = path + ".tmp"
+    with open(temp_path, "wb") as sidecar:
+        pickle.dump(manifest, sidecar, protocol=pickle.HIGHEST_PROTOCOL)
+        sidecar.flush()
+        os.fsync(sidecar.fileno())
+    os.replace(temp_path, path)
+
+
+def load_manifest_sidecar(path: str, expected_version: int) -> Optional[Dict[str, Any]]:
+    """Load the manifest sidecar at ``path`` (``None`` when absent).
+
+    Raises :class:`~repro.core.errors.StorageError` when the manifest's
+    schema version does not match ``expected_version``.
+    """
+    if not os.path.exists(path):
+        return None
+    with open(path, "rb") as sidecar:
+        manifest: Dict[str, Any] = pickle.load(sidecar)
+    if manifest.get("version") != expected_version:
+        raise StorageError(f"unsupported manifest version in {path!r}")
+    return manifest
+
+
+class StorageBackend(ABC):
+    """An append-allocated array of blocks with IO accounting.
+
+    The backend exposes three data operations: :meth:`allocate` a new block at
+    the end of the device, :meth:`write` a payload into an allocated block,
+    and :meth:`read` a payload back.  Reads and writes are recorded in an
+    :class:`~repro.storage.stats.IOStats` instance; reads of consecutive
+    block ids are counted as sequential.  Persistent backends additionally
+    honour :meth:`flush` (make everything written so far durable) and
+    :meth:`close` (flush, then release the device — afterwards every data
+    operation raises :class:`~repro.core.errors.StorageError`).
+
+    A small *metadata* channel (:meth:`put_metadata` / :meth:`get_metadata`)
+    rides along with the device: persistent backends include it in their
+    durable manifest, which is how :class:`~repro.storage.StorageSystem`
+    persists its file/table catalog across a close/reopen cycle.
+    """
+
+    #: Canonical backend name, as accepted by ``StorageConfig.backend``.
+    name: ClassVar[str] = "abstract"
+    #: Whether blocks survive :meth:`close` and can be reopened by path.
+    persistent: ClassVar[bool] = False
+
+    def __init__(self, sequential_cost: int = 20) -> None:
+        self.stats = IOStats(sequential_cost=sequential_cost)
+        self._num_blocks = 0
+        self._closed = False
+        self._metadata: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # primitives implemented by concrete backends
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _grow(self, count: int) -> None:
+        """Extend the device by ``count`` empty blocks (already accounted)."""
+
+    @abstractmethod
+    def _store(self, block_id: int, payload: Any) -> None:
+        """Place ``payload`` into allocated block ``block_id``."""
+
+    @abstractmethod
+    def _load(self, block_id: int) -> Any:
+        """Return the payload of allocated block ``block_id`` (``None`` when
+        the block was allocated but never written)."""
+
+    def _flush_device(self) -> None:
+        """Make every stored payload (and the metadata) durable."""
+
+    def _close_device(self) -> None:
+        """Release device resources after the final flush."""
+
+    # ------------------------------------------------------------------
+    # lifecycle guards
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run; data operations then raise."""
+        return self._closed
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise StorageError(f"storage backend {self.name!r} is closed")
+
+    def _check(self, block_id: int) -> None:
+        if block_id < 0 or block_id >= self._num_blocks:
+            raise BlockOutOfRangeError(block_id, self._num_blocks)
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    @property
+    def num_blocks(self) -> int:
+        """Number of blocks allocated so far."""
+        return self._num_blocks
+
+    def allocate(self, payload: Any = None) -> int:
+        """Allocate a new block at the end of the device and return its id.
+
+        Allocation itself is not charged as IO; the construction-cost
+        experiments charge the *writes* performed through :meth:`write` (and
+        through a non-``None`` initial payload, which is a write).
+        """
+        self._ensure_open()
+        block_id = self._num_blocks
+        self._grow(1)
+        self._num_blocks += 1
+        if payload is not None:
+            self._store(block_id, payload)
+            self.stats.record_write(block_id)
+        return block_id
+
+    def allocate_many(self, count: int) -> List[int]:
+        """Allocate ``count`` consecutive empty blocks and return their ids."""
+        self._ensure_open()
+        if count < 0:
+            raise StorageError("cannot allocate a negative number of blocks")
+        first = self._num_blocks
+        self._grow(count)
+        self._num_blocks += count
+        return list(range(first, first + count))
+
+    # ------------------------------------------------------------------
+    # IO
+    # ------------------------------------------------------------------
+    def write(self, block_id: int, payload: Any) -> None:
+        """Write ``payload`` into ``block_id`` (counted as one write IO)."""
+        self._ensure_open()
+        self._check(block_id)
+        self._store(block_id, payload)
+        self.stats.record_write(block_id)
+
+    def read(self, block_id: int) -> Any:
+        """Read the payload of ``block_id`` (counted as one read IO)."""
+        self._ensure_open()
+        self._check(block_id)
+        self.stats.record_read(block_id)
+        return self._load(block_id)
+
+    def peek(self, block_id: int) -> Any:
+        """Read a block without charging IO.
+
+        Used by construction-time code that is charged separately, and by
+        tests that need to inspect the layout.
+        """
+        self._ensure_open()
+        self._check(block_id)
+        return self._load(block_id)
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Make everything written so far (payloads and metadata) durable.
+
+        A no-op for non-persistent backends; persistent ones fsync their
+        device and atomically rewrite their manifest.
+        """
+        self._ensure_open()
+        self._flush_device()
+
+    def close(self) -> None:
+        """Flush, then release the device.  Idempotent.
+
+        After closing, every data operation raises
+        :class:`~repro.core.errors.StorageError`; persistent backends can be
+        reopened from their path.
+        """
+        if self._closed:
+            return
+        self._flush_device()
+        self._close_device()
+        self._closed = True
+
+    def discard(self) -> None:
+        """Release the device *without* a final flush.  Idempotent.
+
+        For abandoning a device nothing will ever reopen (a superseded
+        rebuild-mode overlay, a failed construction): skipping the flush
+        avoids paying an fsync'd manifest write for data that is about to be
+        deleted.  The caller owns removing the backing files.
+        """
+        if self._closed:
+            return
+        self._close_device()
+        self._closed = True
+
+    # ------------------------------------------------------------------
+    # metadata channel
+    # ------------------------------------------------------------------
+    def put_metadata(self, key: str, value: Any) -> None:
+        """Stash a picklable value under ``key`` (durable after :meth:`flush`)."""
+        self._ensure_open()
+        self._metadata[key] = value
+
+    def get_metadata(self, key: str, default: Any = None) -> Any:
+        """Return the value stashed under ``key``, or ``default``."""
+        return self._metadata.get(key, default)
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> Optional[str]:
+        """Filesystem path backing the device (``None`` for in-memory ones)."""
+        return None
+
+    def reset_stats(self) -> None:
+        """Zero the IO counters (layout is preserved)."""
+        self.stats.reset()
+
+    def __len__(self) -> int:
+        return self._num_blocks
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(blocks={self._num_blocks}, "
+            f"closed={self._closed}, {self.stats})"
+        )

@@ -1,0 +1,176 @@
+"""An append-only block file: real persistence with an explicit page cache.
+
+The on-disk layout is a log of self-describing records::
+
+    [block_id: u64][payload_bytes: u64][pickled payload ...]
+
+Writes only ever append — rewriting a block appends a new version and moves
+the in-memory directory pointer, exactly the write pattern the interval-
+ordered index placement produces (later intervals land after earlier ones).
+An explicit LRU page cache holds recently *deserialized* payloads so repeated
+reads of a hot block do not pay pickle decoding again; physical IO accounting
+is unaffected (the charge is recorded before the cache is consulted — the
+buffer pool one level up is the component that models IO-free re-reads).
+
+Durability contract: :meth:`~StorageBackend.flush` fsyncs the log and then
+atomically replaces the manifest sidecar (``<path>.manifest``) holding the
+directory, the block count, and the metadata channel.  Reopening reads the
+manifest and then *replays* any self-describing records appended after the
+manifest's tail offset, so writes that hit the log but missed the final
+manifest rewrite are recovered rather than lost.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+from collections import OrderedDict
+from typing import Any, ClassVar, Dict, Optional, Tuple
+
+from ...core.errors import StorageError
+from .base import StorageBackend, load_manifest_sidecar, write_manifest_sidecar
+
+__all__ = ["FileBackend"]
+
+#: Log-record header: (block_id, payload length), little-endian u64 pairs.
+_HEADER = struct.Struct("<QQ")
+
+#: Manifest schema version (bumped on incompatible layout changes).
+_MANIFEST_VERSION = 1
+
+
+class FileBackend(StorageBackend):
+    """Append-only block file with a manifest sidecar and an LRU page cache."""
+
+    name: ClassVar[str] = "file"
+    persistent: ClassVar[bool] = True
+
+    def __init__(
+        self,
+        path: str,
+        sequential_cost: int = 20,
+        page_cache_blocks: int = 64,
+    ) -> None:
+        super().__init__(sequential_cost=sequential_cost)
+        if page_cache_blocks < 0:
+            raise StorageError("page_cache_blocks must be non-negative")
+        self._path = os.fspath(path)
+        self._cache_capacity = page_cache_blocks
+        self._page_cache: "OrderedDict[int, Any]" = OrderedDict()
+        #: block_id -> (log offset, payload length) of the live version.
+        self._directory: Dict[int, Tuple[int, int]] = {}
+        # A device with zero written blocks has an empty log, so the manifest
+        # sidecar alone can mark an attachable (metadata-only) device.
+        log_present = os.path.exists(self._path)
+        existing = (
+            log_present and os.path.getsize(self._path) > 0
+        ) or os.path.exists(self._path + ".manifest")
+        self._handle = open(self._path, "r+b" if existing and log_present else "w+b")
+        self._tail = 0
+        if existing:
+            self._attach()
+
+    # ------------------------------------------------------------------
+    # primitives
+    # ------------------------------------------------------------------
+    def _grow(self, count: int) -> None:
+        pass  # allocation is pure bookkeeping; the log grows on first write
+
+    def _store(self, block_id: int, payload: Any) -> None:
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        self._handle.seek(self._tail)
+        self._handle.write(_HEADER.pack(block_id, len(blob)))
+        self._handle.write(blob)
+        self._directory[block_id] = (self._tail + _HEADER.size, len(blob))
+        self._tail += _HEADER.size + len(blob)
+        self._cache_put(block_id, payload)
+
+    def _load(self, block_id: int) -> Any:
+        if block_id in self._page_cache:
+            self._page_cache.move_to_end(block_id)
+            return self._page_cache[block_id]
+        located = self._directory.get(block_id)
+        if located is None:
+            return None  # allocated but never written
+        offset, length = located
+        self._handle.seek(offset)
+        payload = pickle.loads(self._handle.read(length))
+        self._cache_put(block_id, payload)
+        return payload
+
+    def _cache_put(self, block_id: int, payload: Any) -> None:
+        if self._cache_capacity <= 0:
+            return
+        self._page_cache[block_id] = payload
+        self._page_cache.move_to_end(block_id)
+        while len(self._page_cache) > self._cache_capacity:
+            self._page_cache.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    def _flush_device(self) -> None:
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        write_manifest_sidecar(
+            self._manifest_path,
+            {
+                "version": _MANIFEST_VERSION,
+                "num_blocks": self._num_blocks,
+                "directory": dict(self._directory),
+                "tail": self._tail,
+                "metadata": dict(self._metadata),
+            },
+        )
+
+    def _close_device(self) -> None:
+        self._handle.close()
+        self._page_cache.clear()
+
+    # ------------------------------------------------------------------
+    # reopen
+    # ------------------------------------------------------------------
+    def _attach(self) -> None:
+        manifest = load_manifest_sidecar(self._manifest_path, _MANIFEST_VERSION)
+        if manifest is not None:
+            self._num_blocks = manifest["num_blocks"]
+            self._directory = dict(manifest["directory"])
+            self._tail = manifest["tail"]
+            self._metadata = dict(manifest["metadata"])
+        self._replay_from(self._tail)
+
+    def _replay_from(self, offset: int) -> None:
+        """Recover records appended after the last manifest rewrite."""
+        end = os.path.getsize(self._path)
+        while offset + _HEADER.size <= end:
+            self._handle.seek(offset)
+            block_id, length = _HEADER.unpack(self._handle.read(_HEADER.size))
+            if offset + _HEADER.size + length > end:
+                break  # torn final record: ignore past the last complete one
+            self._directory[block_id] = (offset + _HEADER.size, length)
+            self._num_blocks = max(self._num_blocks, block_id + 1)
+            offset += _HEADER.size + length
+        self._tail = offset
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> Optional[str]:
+        """Path of the backing log file."""
+        return self._path
+
+    @property
+    def _manifest_path(self) -> str:
+        return self._path + ".manifest"
+
+    @property
+    def page_cache_blocks(self) -> int:
+        """Configured page-cache capacity (0 disables the cache)."""
+        return self._cache_capacity
+
+    @property
+    def log_bytes(self) -> int:
+        """Bytes appended to the log so far (live and superseded versions)."""
+        return self._tail

@@ -15,8 +15,8 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Sequence
 
 from ..core.errors import StorageError
+from .backends.base import StorageBackend
 from .buffer import BufferPool
-from .disk import SimulatedDisk
 
 __all__ = ["BlockFile", "Extent"]
 
@@ -57,7 +57,7 @@ class BlockFile:
 
     def __init__(
         self,
-        disk: SimulatedDisk,
+        disk: StorageBackend,
         buffer_pool: BufferPool,
         records_per_block: int = 64,
         name: str = "blockfile",
@@ -98,6 +98,27 @@ class BlockFile:
         self._extents[key] = extent
         self._order.append(key)
         return extent
+
+    def adopt_extents(self, extents: Sequence[Extent]) -> None:
+        """Re-register extents whose blocks already live on the device.
+
+        The reopen path of a persistent :class:`~repro.storage.StorageSystem`
+        uses this to reconstruct the extent directory from the durable
+        catalog; the blocks themselves were written in a previous process.
+        Only valid on a freshly created (empty) file.
+        """
+        if self._extents:
+            raise StorageError(
+                f"cannot adopt extents into non-empty block file {self.name!r}"
+            )
+        for extent in extents:
+            if extent.first_block + extent.num_blocks > self._disk.num_blocks:
+                raise StorageError(
+                    f"extent {extent.key!r} of {self.name!r} lies beyond the "
+                    f"device ({self._disk.num_blocks} blocks)"
+                )
+            self._extents[extent.key] = extent
+            self._order.append(extent.key)
 
     # ------------------------------------------------------------------
     # reading (query time)

@@ -1,43 +1,52 @@
-"""An LRU buffer pool fronting the simulated disk.
+"""An LRU buffer pool fronting the block device.
 
 Both ReachGrid and ReachGraph rely on buffering during query processing:
 ReachGrid buffers the grid cells retrieved within a temporal interval, and
 ReachGraph buffers whole partitions so that future vertices in the same
 partition are served from memory.  The buffer pool implements the standard
 database pattern — fixed capacity, least-recently-used eviction — and routes
-misses to the underlying :class:`~repro.storage.disk.SimulatedDisk`, which is
-where the IO accounting happens.
+misses to the underlying :class:`~repro.storage.backends.StorageBackend`,
+which is where the IO accounting happens.
+
+Writes staged through :meth:`BufferPool.write` follow the classic write-back
+discipline: the frame is marked dirty and the device write is deferred until
+the frame is evicted (or the pool is flushed/cleared).  This matters for the
+persistent backends — a dirty page silently dropped at eviction would read
+back stale after a close/reopen cycle — and it is also the honest IO model:
+a real buffer manager pays the write IO when the page leaves memory.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Iterable, Optional
+from typing import Any, Iterable, Optional, Set
 
 from ..core.errors import BufferPoolError
-from .disk import SimulatedDisk
+from .backends.base import StorageBackend
 from .stats import IOStats
 
 __all__ = ["BufferPool"]
 
 
 class BufferPool:
-    """Fixed-capacity LRU cache of disk blocks.
+    """Fixed-capacity LRU cache of device blocks with write-back.
 
     Parameters
     ----------
     disk:
-        The simulated device to read from on a miss.
+        The block device to read from on a miss and write dirty frames back
+        to on eviction.
     capacity:
         Maximum number of blocks held in memory at once.
     """
 
-    def __init__(self, disk: SimulatedDisk, capacity: int = 256) -> None:
+    def __init__(self, disk: StorageBackend, capacity: int = 256) -> None:
         if capacity <= 0:
             raise BufferPoolError("buffer pool capacity must be positive")
         self._disk = disk
         self._capacity = capacity
         self._frames: "OrderedDict[int, Any]" = OrderedDict()
+        self._dirty: Set[int] = set()
         self.hits = 0
         self.misses = 0
 
@@ -51,13 +60,18 @@ class BufferPool:
 
     @property
     def stats(self) -> IOStats:
-        """The IO counters of the underlying disk."""
+        """The IO counters of the underlying device."""
         return self._disk.stats
 
     @property
     def resident_blocks(self) -> int:
         """Number of blocks currently held in memory."""
         return len(self._frames)
+
+    @property
+    def dirty_blocks(self) -> int:
+        """Number of resident blocks whose device write is still deferred."""
+        return len(self._dirty)
 
     def contains(self, block_id: int) -> bool:
         """True when ``block_id`` is resident (does not touch recency)."""
@@ -87,6 +101,18 @@ class BufferPool:
         for block_id in block_ids:
             self.read(block_id)
 
+    def write(self, block_id: int, payload: Any) -> None:
+        """Stage a write: the frame turns dirty, the device write is deferred.
+
+        The payload reaches the device when the frame is evicted, or when
+        :meth:`flush` / :meth:`clear` / :meth:`invalidate` runs — whichever
+        comes first.  Writers that must not lose data across a close/reopen
+        cycle call :meth:`flush` before closing the storage system (the
+        system's own ``flush``/``close`` do exactly that).
+        """
+        self._dirty.add(block_id)
+        self._insert(block_id, payload)
+
     # ------------------------------------------------------------------
     # maintenance
     # ------------------------------------------------------------------
@@ -94,17 +120,38 @@ class BufferPool:
         self._frames[block_id] = payload
         self._frames.move_to_end(block_id)
         while len(self._frames) > self._capacity:
-            self._frames.popitem(last=False)
+            evicted_id, evicted_payload = self._frames.popitem(last=False)
+            self._write_back(evicted_id, evicted_payload)
+
+    def _write_back(self, block_id: int, payload: Any) -> None:
+        if block_id in self._dirty:
+            self._dirty.discard(block_id)
+            self._disk.write(block_id, payload)
+
+    def flush(self) -> None:
+        """Write every dirty frame back to the device (frames stay resident)."""
+        for block_id in sorted(self._dirty):
+            self._disk.write(block_id, self._frames[block_id])
+        self._dirty.clear()
 
     def invalidate(self, block_id: Optional[int] = None) -> None:
-        """Drop one block (or the whole pool when ``block_id`` is ``None``)."""
+        """Drop one block (or the whole pool when ``block_id`` is ``None``).
+
+        Dirty frames are written back before being dropped — invalidation
+        discards residency, never data.
+        """
         if block_id is None:
+            self.flush()
             self._frames.clear()
-        else:
-            self._frames.pop(block_id, None)
+        elif block_id in self._frames:
+            self._write_back(block_id, self._frames.pop(block_id))
 
     def clear(self) -> None:
-        """Drop every resident block and zero the hit/miss counters."""
+        """Drop every resident block and zero the hit/miss counters.
+
+        Dirty frames are written back first, as in :meth:`invalidate`.
+        """
+        self.flush()
         self._frames.clear()
         self.hits = 0
         self.misses = 0
@@ -120,5 +167,5 @@ class BufferPool:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"BufferPool(capacity={self._capacity}, resident={len(self._frames)}, "
-            f"hits={self.hits}, misses={self.misses})"
+            f"dirty={len(self._dirty)}, hits={self.hits}, misses={self.misses})"
         )

@@ -1,106 +1,25 @@
-"""A simulated block device.
+"""The simulated block device (compatibility shim).
 
-The paper evaluates index structures on disk-resident datasets and reports the
-number of (normalized) IOs a query incurs.  That metric is a property of the
-index layout and the access pattern, not of a particular physical disk, so the
-reproduction replaces the 5-disk Windows server of Table 3 with an in-memory
-block device that faithfully tracks which blocks are touched and whether the
-accesses are sequential or random.
+The paper evaluates index structures on disk-resident datasets and reports
+the number of (normalized) IOs a query incurs.  That metric is a property of
+the index layout and the access pattern, not of a particular physical disk,
+so the reproduction's default device is an in-memory block array that
+faithfully tracks which blocks are touched and whether the accesses are
+sequential or random.
 
-Blocks hold arbitrary Python payloads (one payload per block).  Record packing
-into fixed-capacity blocks is handled one level up, in
-:mod:`repro.storage.blockfile`.
+The implementation now lives in :mod:`repro.storage.backends`, where it is
+one of several interchangeable :class:`~repro.storage.backends.StorageBackend`
+implementations (``sim``, ``file``, ``mmap``); ``SimulatedDisk`` remains the
+historical name of the in-memory one.  Blocks hold arbitrary Python payloads
+(one payload per block); record packing into fixed-capacity blocks is handled
+one level up, in :mod:`repro.storage.blockfile`.
 """
 
 from __future__ import annotations
 
-from typing import Any, List
-
-from ..core.errors import BlockOutOfRangeError, StorageError
-from .stats import IOStats
+from .backends.sim import SimulatedBackend
 
 __all__ = ["SimulatedDisk"]
 
-
-class SimulatedDisk:
-    """An append-allocated array of blocks with IO accounting.
-
-    The disk exposes three operations: :meth:`allocate` a new block at the end
-    of the device, :meth:`write` a payload into an allocated block, and
-    :meth:`read` a payload back.  Reads and writes are recorded in an
-    :class:`~repro.storage.stats.IOStats` instance; reads of consecutive block
-    ids are counted as sequential.
-    """
-
-    def __init__(self, sequential_cost: int = 20) -> None:
-        self._blocks: List[Any] = []
-        self.stats = IOStats(sequential_cost=sequential_cost)
-
-    # ------------------------------------------------------------------
-    # allocation
-    # ------------------------------------------------------------------
-    @property
-    def num_blocks(self) -> int:
-        """Number of blocks allocated so far."""
-        return len(self._blocks)
-
-    def allocate(self, payload: Any = None) -> int:
-        """Allocate a new block at the end of the device and return its id.
-
-        Allocation itself is not charged as IO; the construction-cost
-        experiments charge the *writes* performed through :meth:`write`.
-        """
-        self._blocks.append(payload)
-        block_id = len(self._blocks) - 1
-        if payload is not None:
-            self.stats.record_write(block_id)
-        return block_id
-
-    def allocate_many(self, count: int) -> List[int]:
-        """Allocate ``count`` consecutive empty blocks and return their ids."""
-        if count < 0:
-            raise StorageError("cannot allocate a negative number of blocks")
-        first = len(self._blocks)
-        self._blocks.extend([None] * count)
-        return list(range(first, first + count))
-
-    # ------------------------------------------------------------------
-    # IO
-    # ------------------------------------------------------------------
-    def _check(self, block_id: int) -> None:
-        if block_id < 0 or block_id >= len(self._blocks):
-            raise BlockOutOfRangeError(block_id, len(self._blocks))
-
-    def write(self, block_id: int, payload: Any) -> None:
-        """Write ``payload`` into ``block_id`` (counted as one write IO)."""
-        self._check(block_id)
-        self._blocks[block_id] = payload
-        self.stats.record_write(block_id)
-
-    def read(self, block_id: int) -> Any:
-        """Read the payload of ``block_id`` (counted as one read IO)."""
-        self._check(block_id)
-        self.stats.record_read(block_id)
-        return self._blocks[block_id]
-
-    def peek(self, block_id: int) -> Any:
-        """Read a block without charging IO.
-
-        Used by construction-time code that is charged separately, and by
-        tests that need to inspect the layout.
-        """
-        self._check(block_id)
-        return self._blocks[block_id]
-
-    # ------------------------------------------------------------------
-    # convenience
-    # ------------------------------------------------------------------
-    def reset_stats(self) -> None:
-        """Zero the IO counters (layout is preserved)."""
-        self.stats.reset()
-
-    def __len__(self) -> int:
-        return len(self._blocks)
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"SimulatedDisk(blocks={len(self._blocks)}, {self.stats})"
+#: Historical name of the in-memory backend, kept for existing imports.
+SimulatedDisk = SimulatedBackend

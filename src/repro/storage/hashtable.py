@@ -18,8 +18,8 @@ from __future__ import annotations
 from typing import Any, Dict, Hashable, Iterable, List, Tuple
 
 from ..core.errors import StorageError
+from .backends.base import StorageBackend
 from .buffer import BufferPool
-from .disk import SimulatedDisk
 
 __all__ = ["ExternalHashTable"]
 
@@ -33,7 +33,7 @@ class ExternalHashTable:
 
     def __init__(
         self,
-        disk: SimulatedDisk,
+        disk: StorageBackend,
         buffer_pool: BufferPool,
         name: str = "hashtable",
     ) -> None:
@@ -69,6 +69,31 @@ class ExternalHashTable:
         self._bucket_blocks = [self._disk.allocate(bucket) for bucket in buckets]
         self._built = True
 
+    def adopt_buckets(self, bucket_blocks: List[int]) -> None:
+        """Re-register bucket blocks that already live on the device.
+
+        Reopen-path counterpart of :meth:`build` (see
+        :meth:`~repro.storage.blockfile.BlockFile.adopt_extents`): the bucket
+        payloads were written in a previous process; this restores the block
+        directory so :meth:`get` hashes into them again.
+        """
+        if self._built:
+            raise StorageError(f"hash table {self.name!r} already built")
+        if not bucket_blocks:
+            # A built table always has at least one bucket (see build), so an
+            # empty list means the original was never built: stay unbuilt and
+            # keep raising the not-built error instead of dividing by zero.
+            return
+        for block_id in bucket_blocks:
+            if block_id < 0 or block_id >= self._disk.num_blocks:
+                raise StorageError(
+                    f"bucket block {block_id} of {self.name!r} lies beyond "
+                    f"the device ({self._disk.num_blocks} blocks)"
+                )
+        self._bucket_blocks = list(bucket_blocks)
+        self._num_buckets = len(self._bucket_blocks)
+        self._built = True
+
     # ------------------------------------------------------------------
     # lookup
     # ------------------------------------------------------------------
@@ -99,6 +124,11 @@ class ExternalHashTable:
     def num_buckets(self) -> int:
         """Number of bucket blocks."""
         return self._num_buckets
+
+    @property
+    def bucket_blocks(self) -> List[int]:
+        """Device block ids of the buckets, in hash order."""
+        return list(self._bucket_blocks)
 
     @property
     def is_built(self) -> bool:

@@ -45,7 +45,12 @@ from __future__ import annotations
 
 from .async_service import AsyncReachabilityService, AsyncStats
 from .coordinator import ShardedReachabilityService, ShardedStats
-from .delta import ContactSnapshotStore, DeltaGraph, ReachGraphDeltaOverlay
+from .delta import (
+    ContactSnapshotStore,
+    DeltaGraph,
+    ReachGraphDeltaOverlay,
+    SnapshotArtifacts,
+)
 from .events import ContactEvent, SampleEvent, StreamBatch
 from .experiment import async_stream_replay, sharded_stream_replay, stream_replay
 from .ingest import StreamIngestor
@@ -59,10 +64,14 @@ from .policy import (
 )
 from .router import HashRouter, ShardRouter, SpatialCellRouter, make_router
 from .service import (
+    MergeBuild,
     MergeInputs,
     QueryResultCache,
+    SnapshotQueryService,
     StreamingReachabilityService,
     StreamingStats,
+    build_merge,
+    build_snapshot_artifacts,
     build_snapshot_overlay,
 )
 from .sharding import CrossShardContactTracker, ShardedStreamIngestor
@@ -96,10 +105,15 @@ __all__ = [
     "ShardedStreamIngestor",
     "ShardedReachabilityService",
     "ShardedStats",
+    "MergeBuild",
     "MergeInputs",
     "QueryResultCache",
+    "SnapshotArtifacts",
+    "SnapshotQueryService",
     "StreamingReachabilityService",
     "StreamingStats",
+    "build_merge",
+    "build_snapshot_artifacts",
     "build_snapshot_overlay",
     "stream_replay",
     "sharded_stream_replay",

@@ -13,16 +13,18 @@ stall with three moves:
   a full queue suspends the producer, which is the backpressure contract.
   One asyncio task per shard drains its queue in FIFO order, so each shard
   still sees a watermark-ordered stream;
-* **background merges** — a merge is a pure function of the ingestor's frozen
-  prefix (see :func:`~repro.streaming.service.build_snapshot_overlay`), so
-  when a shard's merge policy fires the loop captures the prefix
-  synchronously, builds the new snapshot in a worker thread via
-  :func:`asyncio.to_thread`, and only then
-* **swaps the snapshot in atomically** —
-  :meth:`~repro.streaming.service.StreamingReachabilityService.adopt_snapshot`
-  plus the coordinator-cache invalidation run without yielding control, so a
-  concurrently awaited ``query(...)`` observes either the old overlay or the
-  fully adopted new one, never a mixture, and never blocks on the rebuild.
+* **background merges** — the build half of a merge is a pure function of the
+  ingestor's frozen prefix (see :func:`~repro.streaming.service.build_merge`),
+  so when a shard's merge policy fires the loop captures the prefix
+  synchronously, builds the new snapshot structures in a worker thread via
+  :func:`asyncio.to_thread` (a complete overlay in rebuild mode, just the
+  query-side artifacts in LSM mode), and only then
+* **adopts the result atomically** —
+  :meth:`~repro.streaming.service.StreamingReachabilityService.adopt_merge`
+  (overlay swap, or LSM run append plus compaction) and the coordinator-cache
+  invalidation run without yielding control, so a concurrently awaited
+  ``query(...)`` observes either the old snapshot or the fully adopted new
+  one, never a mixture, and never blocks on the rebuild.
 
 Queries always answer over the globally complete prefix clipped at the
 cross-shard low-watermark (the sharded evaluation path), which is what makes
@@ -51,7 +53,7 @@ from .events import SampleEvent, StreamBatch
 from .service import (
     MergeInputs,
     StreamingReachabilityService,
-    build_snapshot_overlay,
+    build_merge,
 )
 from .source import replay
 
@@ -272,15 +274,13 @@ class AsyncReachabilityService:
         self, shard: StreamingReachabilityService, inputs: MergeInputs
     ) -> None:
         try:
-            overlay = await asyncio.to_thread(
-                build_snapshot_overlay, inputs, self._storage_config
-            )
+            build = await asyncio.to_thread(build_merge, inputs, self._storage_config)
             # Atomic from here to the end of the invalidation: no await, so a
-            # concurrent query sees the old overlay or the new one, never a
+            # concurrent query sees the old snapshot or the new one, never a
             # half-adopted state or a stale cached answer.  A cancellation
-            # landing during the build discards the overlay unadopted; the
+            # landing during the build discards the result unadopted; the
             # live overlay is never touched, so the service stays consistent.
-            shard.adopt_snapshot(overlay, inputs.bound)
+            shard.adopt_merge(build, inputs)
             self._service.invalidate_cache()
             self._background_merges += 1
         except asyncio.CancelledError:
@@ -390,13 +390,16 @@ class AsyncReachabilityService:
         return await self.drain()
 
     async def aclose(self) -> None:
-        """Graceful shutdown: drain, then stop the ingest loops.
+        """Graceful shutdown: drain, stop the ingest loops, close storage.
 
         In-flight merges are awaited (not cancelled); afterwards every
         coroutine method raises.  Safe to call more than once.  A
         :meth:`pause_ingest` still in effect is released first — shutdown
         must flush, not deadlock behind a forgotten pause (this also covers
         the ``async with`` exit path when the body raises mid-pause).
+        Closing the wrapped sharded service last is what makes persistent
+        backends durable: each shard's overlay manifest is written and its
+        devices fsync'd, so buffered writes cannot be lost with the process.
         """
         if self._closed:
             return
@@ -410,6 +413,7 @@ class AsyncReachabilityService:
             if self._loops:
                 await asyncio.gather(*self._loops, return_exceptions=True)
             await self._await_in_flight_merges()
+            self._service.close()
 
     # ------------------------------------------------------------------
     # introspection

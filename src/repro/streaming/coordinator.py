@@ -134,6 +134,7 @@ class ShardedReachabilityService:
         self._policies = [make_policy(shard_config) for _ in range(num_shards)]
         self._cache = QueryResultCache(self.streaming_config.query_cache_size)
         self._queries = 0
+        self._closed = False
 
     # ------------------------------------------------------------------
     # constructors
@@ -167,6 +168,7 @@ class ShardedReachabilityService:
         watermark is its latest sample time.  All-or-nothing: a batch that
         violates the ingestion contract leaves every shard unchanged.
         """
+        self._ensure_open()
         batch = (
             events
             if isinstance(events, StreamBatch)
@@ -188,6 +190,7 @@ class ShardedReachabilityService:
         for exactly ``shard_id`` (the asyncio ingest loops feed queues filled
         that way) and skips the per-sample routing re-check.
         """
+        self._ensure_open()
         before = self._ingestor.low_watermark
         count = self._ingestor.ingest_shard(shard_id, batch, prevalidated=prevalidated)
         if self._ingestor.low_watermark != before:
@@ -261,6 +264,7 @@ class ShardedReachabilityService:
         re-freezing an identical prefix would rebuild bit-identical contact
         extents for nothing.
         """
+        self._ensure_open()
         low = self._ingestor.low_watermark
         if low is None:
             raise StreamingError("nothing to merge: no shard has a watermark yet")
@@ -278,6 +282,7 @@ class ShardedReachabilityService:
         not promised completeness there, so including them would let answers
         depend on delivery skew instead of on data.
         """
+        self._ensure_open()
         self._queries += 1
         cached = self._cache.get(query)
         if cached is not None:
@@ -342,6 +347,31 @@ class ShardedReachabilityService:
             if bounded is not None and bounded.validity.overlaps(interval):
                 clipped.append(bounded)
         return clipped
+
+    # ------------------------------------------------------------------
+    # durability (persistent backends)
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Persist every shard's queryable state (no-op on the sim backend)."""
+        for shard in self._shards:
+            shard.flush()
+
+    def close(self) -> None:
+        """Flush and release every shard's storage systems.  Idempotent.
+
+        Afterwards the coordinator must not ingest or answer queries (the
+        cache is dropped so a closed service cannot serve stale answers).
+        """
+        if self._closed:
+            return
+        for shard in self._shards:
+            shard.close()
+        self._cache.clear()
+        self._closed = True
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise StreamingError(f"sharded service {self.name!r} is closed")
 
     # ------------------------------------------------------------------
     # introspection

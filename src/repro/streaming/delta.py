@@ -24,7 +24,8 @@ transmission happens at single instants.
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.errors import StreamingError
 from ..core.types import (
@@ -36,13 +37,35 @@ from ..core.types import (
 )
 from ..baselines.reference import earliest_arrival
 from ..contacts.network import Contact, ContactNetwork
-from ..storage import StorageSystem
+from ..storage import BlockFile, StorageSystem
 from ..trajectory.model import TrajectoryDataset
 
-__all__ = ["DeltaGraph", "ContactSnapshotStore", "ReachGraphDeltaOverlay"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..reachgraph import ReachGraphQueryProcessor
+
+__all__ = [
+    "DeltaGraph",
+    "ContactSnapshotStore",
+    "ReachGraphDeltaOverlay",
+    "SnapshotArtifacts",
+]
 
 #: On-disk record of one snapshot contact: (first, second, start, end).
 ContactRecord = Tuple[ObjectId, ObjectId, TimeInstant, TimeInstant]
+
+
+@dataclass(frozen=True, slots=True)
+class SnapshotArtifacts:
+    """The query-side structures a merge rebuilds over the frozen prefix.
+
+    Produced purely from captured :class:`~repro.streaming.service.MergeInputs`
+    by :func:`~repro.streaming.service.build_snapshot_artifacts` (safe to run
+    in a background thread) and adopted atomically by
+    :meth:`ReachGraphDeltaOverlay.adopt_increment`.
+    """
+
+    network: ContactNetwork
+    processor: Optional["ReachGraphQueryProcessor"]
 
 
 class DeltaGraph:
@@ -72,35 +95,69 @@ class DeltaGraph:
         return len(self._contacts)
 
 
-class ContactSnapshotStore:
-    """Frozen snapshot contacts placed on the simulated disk.
+class _SnapshotRun:
+    """One sorted run of interval-keyed contact extents (an LSM level-0 file)."""
 
-    Contacts are grouped into extents by the temporal grid interval their
-    validity *starts* in, written in interval order (the same placement rule
-    ReachGrid uses for its cells).  Each extent remembers the latest validity
-    end among its contacts, so a read for a query interval skips extents that
-    cannot overlap it without paying any IO.
+    __slots__ = ("file", "max_end", "num_contacts")
+
+    def __init__(
+        self, file: BlockFile, max_end: Dict[int, TimeInstant], num_contacts: int
+    ) -> None:
+        self.file = file
+        self.max_end = max_end
+        self.num_contacts = num_contacts
+
+
+class ContactSnapshotStore:
+    """Frozen snapshot contacts placed on the block device, LSM-style.
+
+    Contacts live in one or more *runs*.  Within a run, contacts are grouped
+    into extents by the temporal grid interval their validity *starts* in,
+    written in interval order (the same placement rule ReachGrid uses for its
+    cells); each extent remembers the latest validity end among its contacts,
+    so a read for a query interval skips extents that cannot overlap it
+    without paying any IO.
+
+    Each merge appends the freshly frozen contacts as a new run
+    (:meth:`append_run`) instead of rewriting the whole prefix; once the run
+    count passes the configured threshold, :meth:`compact` folds every live
+    run into a single consolidated one, superseding the old extents.  The
+    device is append-only, so superseded extents stay on disk as garbage —
+    :attr:`superseded_blocks` counts them, and :attr:`records_written` is the
+    cumulative write-amplification ledger the tests compare against the
+    rebuild-from-scratch path.
     """
 
     def __init__(
         self,
         storage: StorageSystem,
-        contacts: Iterable[Contact],
         origin: TimeInstant,
         temporal_resolution: int,
         name: str = "snapshot-contacts",
+        contacts: Iterable[Contact] = (),
     ) -> None:
         if temporal_resolution <= 0:
             raise StreamingError("temporal_resolution must be positive")
         self._storage = storage
         self._origin = origin
         self._rt = temporal_resolution
-        self._file = storage.new_blockfile(name)
-        self._max_end: Dict[int, TimeInstant] = {}
+        self._name = name
+        self._runs: List[_SnapshotRun] = []
+        self._run_counter = 0
+        self._records_written = 0
+        self._superseded_blocks = 0
+        self._compactions = 0
+        initial = list(contacts)
+        if initial:
+            self.append_run(initial)
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def _group(self, contacts: Iterable[Contact]) -> Dict[int, List[ContactRecord]]:
         grouped: Dict[int, List[ContactRecord]] = {}
-        count = 0
         for contact in contacts:
-            index = (contact.validity.start - origin) // temporal_resolution
+            index = (contact.validity.start - self._origin) // self._rt
             record: ContactRecord = (
                 contact.first,
                 contact.second,
@@ -108,37 +165,161 @@ class ContactSnapshotStore:
                 contact.validity.end,
             )
             grouped.setdefault(index, []).append(record)
-            count += 1
+        return grouped
+
+    def _write_run(self, grouped: Dict[int, List[ContactRecord]]) -> _SnapshotRun:
+        self._run_counter += 1
+        file = self._storage.new_blockfile(f"{self._name}-run{self._run_counter}")
+        max_end: Dict[int, TimeInstant] = {}
+        count = 0
         for index in sorted(grouped):
             records = sorted(grouped[index], key=lambda r: (r[2], r[0], r[1]))
-            self._file.append_extent(index, records)
-            self._max_end[index] = max(record[3] for record in records)
-        self._num_contacts = count
+            file.append_extent(index, records)
+            max_end[index] = max(record[3] for record in records)
+            count += len(records)
+        self._records_written += count
+        return _SnapshotRun(file, max_end, count)
 
+    def append_run(self, contacts: Iterable[Contact]) -> int:
+        """Append one run holding ``contacts``; returns the records written.
+
+        An empty contact set appends nothing (a zero-delta merge is a no-op
+        on the store), so back-to-back merges at the same watermark never
+        grow the device.
+        """
+        grouped = self._group(contacts)
+        if not grouped:
+            return 0
+        run = self._write_run(grouped)
+        self._runs.append(run)
+        return run.num_contacts
+
+    def compact(self) -> int:
+        """Fold every live run into one consolidated run.
+
+        Returns the number of records rewritten (0 when fewer than two runs
+        are live — compacting a single run would be pure write amplification).
+        The old runs' extents are superseded: still on the append-only device,
+        no longer referenced by any read.
+        """
+        if len(self._runs) <= 1:
+            return 0
+        merged: Dict[int, List[ContactRecord]] = {}
+        superseded = 0
+        for run in self._runs:
+            superseded += run.file.num_blocks
+            for index in run.file.extent_keys():
+                merged.setdefault(index, []).extend(run.file.read_extent(index))
+        run = self._write_run(merged)
+        self._superseded_blocks += superseded
+        self._runs = [run]
+        self._compactions += 1
+        return run.num_contacts
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
     @property
     def num_contacts(self) -> int:
-        """Number of contacts held by the snapshot."""
-        return self._num_contacts
+        """Number of contacts held by the live runs."""
+        return sum(run.num_contacts for run in self._runs)
 
     @property
     def num_blocks(self) -> int:
-        """Disk blocks occupied by the snapshot's contact extents."""
-        return self._file.num_blocks
+        """Device blocks occupied by the live runs' contact extents."""
+        return sum(run.file.num_blocks for run in self._runs)
 
+    @property
+    def num_runs(self) -> int:
+        """Live runs (1 right after a compaction or a full rebuild)."""
+        return len(self._runs)
+
+    @property
+    def records_written(self) -> int:
+        """Cumulative contact records ever written (the write-amp ledger)."""
+        return self._records_written
+
+    @property
+    def superseded_blocks(self) -> int:
+        """Blocks whose extents were folded away by compactions."""
+        return self._superseded_blocks
+
+    @property
+    def compactions(self) -> int:
+        """Number of compactions performed."""
+        return self._compactions
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
     def read_overlapping(self, interval: TimeInterval) -> List[Contact]:
         """Read (and charge IO for) the snapshot contacts overlapping ``interval``."""
         contacts: List[Contact] = []
-        for index in self._file.extent_keys():
-            extent_start = self._origin + index * self._rt
-            if extent_start > interval.end:
-                break  # later extents only hold later-starting contacts
-            if self._max_end[index] < interval.start:
-                continue  # provably disjoint: skip without IO
-            for first, second, start, end in self._file.read_extent(index):
-                validity = TimeInterval(start, end)
-                if validity.overlaps(interval):
-                    contacts.append(Contact(first, second, validity))
+        for run in self._runs:
+            for index in run.file.extent_keys():
+                extent_start = self._origin + index * self._rt
+                if extent_start > interval.end:
+                    break  # later extents only hold later-starting contacts
+                if run.max_end[index] < interval.start:
+                    continue  # provably disjoint: skip without IO
+                for first, second, start, end in run.file.read_extent(index):
+                    validity = TimeInterval(start, end)
+                    if validity.overlaps(interval):
+                        contacts.append(Contact(first, second, validity))
         return contacts
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def manifest(self) -> Dict[str, object]:
+        """A picklable description sufficient to :meth:`restore` this store."""
+        return {
+            "origin": self._origin,
+            "temporal_resolution": self._rt,
+            "name": self._name,
+            "run_counter": self._run_counter,
+            "records_written": self._records_written,
+            "superseded_blocks": self._superseded_blocks,
+            "compactions": self._compactions,
+            "runs": [
+                {
+                    "file": run.file.name,
+                    "max_end": dict(run.max_end),
+                    "num_contacts": run.num_contacts,
+                }
+                for run in self._runs
+            ],
+        }
+
+    @classmethod
+    def restore(
+        cls, storage: StorageSystem, manifest: Dict[str, object]
+    ) -> "ContactSnapshotStore":
+        """Reattach a store to run block files already restored in ``storage``.
+
+        Counterpart of :meth:`manifest` on the reopen path of a persistent
+        backend: the extents were re-registered by the storage system's
+        catalog; this rebuilds the run list pointing at them.
+        """
+        store = cls(
+            storage,
+            origin=manifest["origin"],  # type: ignore[arg-type]
+            temporal_resolution=manifest["temporal_resolution"],  # type: ignore[arg-type]
+            name=manifest["name"],  # type: ignore[arg-type]
+        )
+        store._run_counter = manifest["run_counter"]  # type: ignore[assignment]
+        store._records_written = manifest["records_written"]  # type: ignore[assignment]
+        store._superseded_blocks = manifest["superseded_blocks"]  # type: ignore[assignment]
+        store._compactions = manifest["compactions"]  # type: ignore[assignment]
+        for entry in manifest["runs"]:  # type: ignore[union-attr]
+            store._runs.append(
+                _SnapshotRun(
+                    storage.blockfile(entry["file"]),
+                    dict(entry["max_end"]),
+                    entry["num_contacts"],
+                )
+            )
+        return store
 
 
 class ReachGraphDeltaOverlay:
@@ -185,14 +366,18 @@ class ReachGraphDeltaOverlay:
         ``contacts`` must be the complete contact set of the prefix (the
         ingestor's closed plus open-clipped contacts); the delta is emptied
         because everything it held is now part of the snapshot.
+
+        This is the *rebuild* write path: the entire prefix is rewritten as a
+        single fresh run.  The LSM path (:meth:`adopt_increment`) appends only
+        the freshly frozen contacts instead.
         """
         self._version += 1
         self._store = ContactSnapshotStore(
             self._storage,
-            contacts,
             origin=dataset.horizon.start,
             temporal_resolution=temporal_resolution,
             name=f"snapshot-contacts-v{self._version}",
+            contacts=contacts,
         )
         self._network = ContactNetwork(dataset, contacts, distance_threshold)
         self._processor = None
@@ -208,6 +393,69 @@ class ReachGraphDeltaOverlay:
         self._snapshot_watermark = watermark
         self._delta.clear()
 
+    def adopt_increment(
+        self,
+        artifacts: "SnapshotArtifacts",
+        new_contacts: Sequence[Contact],
+        watermark: TimeInstant,
+        origin: TimeInstant,
+        temporal_resolution: int,
+    ) -> int:
+        """Advance the snapshot by appending one run (the LSM write path).
+
+        ``new_contacts`` is the freshly frozen slice of the prefix — every
+        contact of ``[origin, watermark]`` clipped past the current snapshot
+        watermark (clipping is re-applied here to defend the partition
+        invariant).  ``artifacts`` carries the purely rebuilt query-side
+        structures (contact network, optional ReachGraph processor), which is
+        what keeps the expensive half of a merge off-thread-safe while this
+        method — the only part touching live state — stays cheap: one run
+        append plus a few assignments.  Returns the records written.
+        """
+        if self._store is None:
+            self._version += 1
+            self._store = ContactSnapshotStore(
+                self._storage,
+                origin=origin,
+                temporal_resolution=temporal_resolution,
+                name=f"snapshot-contacts-v{self._version}",
+            )
+        frozen = [
+            clipped
+            for clipped in (self._clip_past_snapshot(c) for c in new_contacts)
+            if clipped is not None
+        ]
+        appended = self._store.append_run(frozen)
+        self._network = artifacts.network
+        self._processor = artifacts.processor
+        self._snapshot_watermark = watermark
+        self._delta.clear()
+        return appended
+
+    def maybe_compact(self, max_runs: int) -> int:
+        """Compact the snapshot store once it holds more than ``max_runs`` runs.
+
+        Returns the records rewritten (0 when no compaction was due).
+        """
+        if self._store is None or self._store.num_runs <= max_runs:
+            return 0
+        return self._store.compact()
+
+    # ------------------------------------------------------------------
+    # persistence (used by the service's close/reopen cycle)
+    # ------------------------------------------------------------------
+    def attach_snapshot_store(
+        self, store: Optional[ContactSnapshotStore], watermark: Optional[TimeInstant]
+    ) -> None:
+        """Adopt a restored snapshot store (reopen path; no query fast path)."""
+        self._store = store
+        self._snapshot_watermark = watermark
+
+    def restore_delta(self, contacts: Iterable[Contact]) -> None:
+        """Re-add persisted delta contacts verbatim (they are already clipped)."""
+        for contact in contacts:
+            self._delta.add(contact)
+
     # ------------------------------------------------------------------
     # introspection (merge policies read these)
     # ------------------------------------------------------------------
@@ -215,6 +463,11 @@ class ReachGraphDeltaOverlay:
     def delta_size(self) -> int:
         """Number of contacts buffered in the delta graph."""
         return len(self._delta)
+
+    @property
+    def delta_contacts(self) -> List[Contact]:
+        """The buffered delta contacts, in arrival order."""
+        return self._delta.contacts
 
     @property
     def snapshot_size(self) -> int:
@@ -225,6 +478,21 @@ class ReachGraphDeltaOverlay:
     def snapshot_watermark(self) -> Optional[TimeInstant]:
         """Watermark of the last merge, or ``None`` before the first one."""
         return self._snapshot_watermark
+
+    @property
+    def snapshot_store(self) -> Optional[ContactSnapshotStore]:
+        """The on-device snapshot contact store (``None`` before any merge)."""
+        return self._store
+
+    @property
+    def snapshot_runs(self) -> int:
+        """Live runs in the snapshot store (0 before any merge)."""
+        return self._store.num_runs if self._store is not None else 0
+
+    @property
+    def snapshot_records_written(self) -> int:
+        """Contact records this overlay's store has ever written."""
+        return self._store.records_written if self._store is not None else 0
 
     @property
     def amplification(self) -> float:

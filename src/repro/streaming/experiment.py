@@ -15,25 +15,31 @@ what the async architecture actually buys: query latency while merges run
 from __future__ import annotations
 
 import asyncio
+import tempfile
 import time
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..baselines.reference import evaluate_reachability
 from ..contacts.join import build_contact_network
-from ..core.config import StreamingConfig
+from ..core.config import STORAGE_BACKENDS, StorageConfig, StreamingConfig
 from ..core.types import QueryResult, ReachabilityQuery
 from ..experiments.harness import ExperimentResult, run_workload
 from ..workloads.datasets import DATASETS
 from ..workloads.queries import random_queries
 from .async_service import AsyncReachabilityService
 from .coordinator import ShardedReachabilityService
-from .service import StreamingReachabilityService
+from .service import SnapshotQueryService, StreamingReachabilityService
 from .source import DatasetReplaySource
 
-__all__ = ["stream_replay", "sharded_stream_replay", "async_stream_replay"]
+__all__ = [
+    "stream_replay",
+    "sharded_stream_replay",
+    "async_stream_replay",
+    "disk_backend_replay",
+]
 
 
-def _make_service(dataset, spec, streaming_config):
+def _make_service(dataset, spec, streaming_config, storage_config=None):
     """The streaming service the config asks for (sharded when shards > 1)."""
     cls = (
         ShardedReachabilityService
@@ -45,7 +51,20 @@ def _make_service(dataset, spec, streaming_config):
         contact_config=spec.contact_config,
         grid_config=spec.grid_config,
         streaming_config=streaming_config,
+        storage_config=storage_config,
     )
+
+
+def _storage_config(storage_backend: Optional[str]) -> Optional[StorageConfig]:
+    """A storage config for ``storage_backend`` (``None``/"sim" → defaults).
+
+    Persistent backends run in anonymous scratch directories here — the
+    drivers measure behaviour, not durability; the close/reopen cycle is
+    exercised by :func:`disk_backend_replay` with a real directory.
+    """
+    if storage_backend is None or storage_backend == "sim":
+        return None
+    return StorageConfig(backend=storage_backend)
 
 
 def stream_replay(
@@ -56,6 +75,7 @@ def stream_replay(
     seed: int = 0,
     shards: int = 1,
     router: str = "hash",
+    storage_backend: str = "sim",
 ) -> ExperimentResult:
     """Streaming ingestion: throughput, and delta-query vs post-merge IO."""
     result = ExperimentResult(
@@ -71,7 +91,9 @@ def stream_replay(
             shards=shards,
             router=router,
         )
-        service = _make_service(dataset, spec, streaming_config)
+        service = _make_service(
+            dataset, spec, streaming_config, _storage_config(storage_backend)
+        )
         source = DatasetReplaySource(dataset, batch_ticks=batch_ticks)
         stats = service.drain(source)
 
@@ -122,6 +144,8 @@ def stream_replay(
     )
     if shards > 1:
         result.add_note(f"sharded ingestion: {shards} shards, {router} router.")
+    if storage_backend != "sim":
+        result.add_note(f"storage backend: {storage_backend}.")
     return result
 
 
@@ -133,6 +157,7 @@ def sharded_stream_replay(
     num_queries: int = 20,
     merge_policy: str = "delta-size",
     seed: int = 0,
+    storage_backend: str = "sim",
 ) -> ExperimentResult:
     """Shard-count scaling: ingest throughput and query cost vs shards."""
     result = ExperimentResult(
@@ -155,7 +180,9 @@ def sharded_stream_replay(
                 shards=shards,
                 router=router,
             )
-            service = _make_service(dataset, spec, streaming_config)
+            service = _make_service(
+                dataset, spec, streaming_config, _storage_config(storage_backend)
+            )
             stats = service.drain(DatasetReplaySource(dataset, batch_ticks=batch_ticks))
             query_results = {query: service.query(query) for query in workload}
             aggregate = run_workload(
@@ -266,6 +293,7 @@ def async_stream_replay(
     merge_policy: str = "delta-size",
     router: str = "hash",
     seed: int = 0,
+    storage_backend: str = "sim",
 ) -> ExperimentResult:
     """Sync vs async serving: throughput and query latency under load."""
     result = ExperimentResult(
@@ -304,6 +332,7 @@ def async_stream_replay(
             contact_config=spec.contact_config,
             grid_config=spec.grid_config,
             streaming_config=streaming_config,
+            storage_config=_storage_config(storage_backend),
         )
         sync_wall, sync_latencies, sync_answered = _run_sync_script(
             sync_service, batches, workload, queries_per_batch
@@ -317,6 +346,7 @@ def async_stream_replay(
                 contact_config=spec.contact_config,
                 grid_config=spec.grid_config,
                 streaming_config=streaming_config,
+                storage_config=_storage_config(storage_backend),
             )
             async with service:
                 wall, latencies, answered = await _run_async_script(
@@ -376,5 +406,99 @@ def async_stream_replay(
         "the async row runs ingestion through bounded per-shard queues with "
         "merges as background tasks, so its max_query_ms excludes the inline "
         "rebuild stall the sync row pays."
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# storage-backend comparison (sim vs file vs mmap)
+# ----------------------------------------------------------------------
+def disk_backend_replay(
+    dataset_names: Sequence[str] = ("rwp-small",),
+    backends: Sequence[str] = STORAGE_BACKENDS,
+    batch_ticks: int = 8,
+    num_queries: int = 20,
+    merge_policy: str = "delta-size",
+    seed: int = 0,
+) -> ExperimentResult:
+    """Storage backends: ingest/query cost and reopen fidelity per backend."""
+    result = ExperimentResult(
+        experiment="stream-disk",
+        description=(
+            "Streaming replay per storage backend: throughput, query IO, "
+            "snapshot write amplification, and close/reopen fidelity"
+        ),
+    )
+    for name in dataset_names:
+        spec = DATASETS[name]
+        dataset = spec.generate()
+        workload = list(random_queries(dataset, count=num_queries, seed=seed))
+        network = build_contact_network(dataset, spec.contact_threshold)
+        truth = {
+            query: evaluate_reachability(network, query) for query in workload
+        }
+        for backend in backends:
+            with tempfile.TemporaryDirectory(prefix="repro-stream-disk-") as scratch:
+                streaming_config = StreamingConfig(
+                    batch_ticks=batch_ticks, merge_policy=merge_policy
+                )
+                storage_config = (
+                    None
+                    if backend == "sim"
+                    else StorageConfig(backend=backend, storage_dir=scratch)
+                )
+                service = _make_service(
+                    dataset, spec, streaming_config, storage_config
+                )
+                stats = service.drain(
+                    DatasetReplaySource(dataset, batch_ticks=batch_ticks)
+                )
+                live = {query: service.query(query) for query in workload}
+                aggregate = run_workload(
+                    live.__getitem__, workload, method=f"backend-{backend}"
+                )
+                matches = sum(
+                    1
+                    for query in workload
+                    if live[query].reachable == truth[query].reachable
+                )
+                reopen_matches = "n/a"
+                if storage_config is not None:
+                    service.close()
+                    reopened = SnapshotQueryService.open(
+                        storage_config, name=service.name
+                    )
+                    agree = sum(
+                        1
+                        for query in workload
+                        if reopened.query(query).reachable
+                        == truth[query].reachable
+                    )
+                    reopened.close()
+                    reopen_matches = f"{agree}/{num_queries}"
+                service_stats = service.stats
+                result.add_row(
+                    dataset=name,
+                    backend=backend,
+                    events=stats.events,
+                    ingest_events_per_sec=round(stats.events_per_second, 1),
+                    merges=service.num_merges,
+                    snapshot_records_written=service_stats.snapshot_records_written,
+                    compactions=service_stats.compactions,
+                    mean_query_io=round(aggregate.mean_io, 3),
+                    mean_query_ms=round(aggregate.mean_cpu_seconds * 1000.0, 3),
+                    matches=f"{matches}/{num_queries}",
+                    reopen_matches=reopen_matches,
+                )
+    result.add_note(
+        f"merge policy: {merge_policy}; every backend drains the same replayed "
+        "stream behind the same StorageSystem interface, so IO counts are "
+        "directly comparable; snapshot_records_written is the LSM write-"
+        "amplification ledger (runs appended plus compaction rewrites)."
+    )
+    result.add_note(
+        "reopen_matches re-answers the workload after close() through a "
+        "SnapshotQueryService reopened from the backing files (persistent "
+        "backends only); it should always equal the workload size."
     )
     return result

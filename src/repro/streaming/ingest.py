@@ -63,7 +63,7 @@ class StreamIngestor:
         self.environment_size = (float(environment_size[0]), float(environment_size[1]))
         self.contact_config = contact_config or ContactConfig()
         self.grid_config = grid_config or ReachGridConfig()
-        self.storage = StorageSystem(storage_config)
+        self.storage = StorageSystem(storage_config, name=f"{name}-grid", attach=False)
         self.name = name
         self._cells_file = self.storage.new_blockfile(f"{name}-grid-cells")
 

@@ -15,10 +15,12 @@ contact network of the ingested prefix.
 
 from __future__ import annotations
 
+import itertools
+import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Iterable, Optional, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..core.config import (
     ContactConfig,
@@ -27,23 +29,35 @@ from ..core.config import (
     StreamingConfig,
 )
 from ..core.errors import StreamingError
-from ..core.types import QueryResult, ReachabilityQuery, TimeInstant
-from ..contacts.network import Contact
-from ..storage import StorageSystem
+from ..core.types import QueryResult, ReachabilityQuery, TimeInstant, TimeInterval
+from ..contacts.network import Contact, ContactNetwork
+from ..storage import BACKEND_FILE_SUFFIX, StorageSystem
 from ..trajectory.model import TrajectoryDataset
-from .delta import ReachGraphDeltaOverlay
+from .delta import ContactSnapshotStore, ReachGraphDeltaOverlay, SnapshotArtifacts
 from .events import SampleEvent, StreamBatch
 from .ingest import StreamIngestor
 from .policy import MergeContext, make_policy
 from .source import replay
 
 __all__ = [
+    "MergeBuild",
     "MergeInputs",
     "QueryResultCache",
+    "SnapshotQueryService",
     "StreamingReachabilityService",
     "StreamingStats",
+    "build_merge",
+    "build_snapshot_artifacts",
     "build_snapshot_overlay",
 ]
+
+#: Metadata key under which a service persists its overlay manifest.
+_OVERLAY_MANIFEST_KEY = "overlay-manifest"
+
+#: Distinguishes the storage-system names of successive rebuild-mode overlay
+#: builds, so two rebuilds against the same persistent ``storage_dir`` never
+#: collide on a backing file.
+_REBUILD_NAMES = itertools.count(1)
 
 
 class QueryResultCache:
@@ -112,24 +126,47 @@ class MergeInputs:
     """The frozen prefix a merge folds into a new snapshot.
 
     Captured synchronously by :meth:`StreamingReachabilityService.prepare_merge`
-    and then handed to :func:`build_snapshot_overlay`, which touches nothing
-    but these values — that purity is what makes it legal to run the build in
-    a background thread while the ingestor keeps moving (the asyncio service
+    and then handed to :func:`build_merge`, which touches nothing but these
+    values — that purity is what makes it legal to run the build in a
+    background thread while the ingestor keeps moving (the asyncio service
     does exactly that).
+
+    ``contacts`` is the complete contact set of the prefix ``[origin, bound]``;
+    ``new_contacts`` is its freshly frozen slice — the same contacts clipped
+    past the previous snapshot watermark — which is all the LSM write path
+    appends to the snapshot store (empty in rebuild mode, which rewrites the
+    full prefix and never reads the slice).  ``mode`` records which write
+    path the service's config selected when the inputs were captured.
     """
 
     prefix: TrajectoryDataset
     contacts: Tuple[Contact, ...]
+    new_contacts: Tuple[Contact, ...]
     bound: TimeInstant
     temporal_resolution: int
     distance_threshold: float
     build_reachgraph: bool
+    mode: str
+
+
+@dataclass(frozen=True, slots=True)
+class MergeBuild:
+    """The off-thread-built half of a merge, ready for adoption.
+
+    Exactly one field is set: ``overlay`` for rebuild mode (a complete fresh
+    overlay whose snapshot store was rewritten from scratch), ``artifacts``
+    for LSM mode (just the rebuilt query-side structures; the snapshot store
+    is advanced in place by a cheap run append at adopt time).
+    """
+
+    overlay: Optional[ReachGraphDeltaOverlay]
+    artifacts: Optional[SnapshotArtifacts]
 
 
 def build_snapshot_overlay(
     inputs: MergeInputs, storage_config: StorageConfig | None = None
 ) -> ReachGraphDeltaOverlay:
-    """Build a fresh snapshot overlay from captured merge inputs.
+    """Build a fresh snapshot overlay from captured merge inputs (rebuild mode).
 
     Pure function of ``inputs`` (plus the storage parameters): it allocates
     its own :class:`~repro.storage.StorageSystem`, reads no live ingestor
@@ -138,7 +175,10 @@ def build_snapshot_overlay(
     becomes live only when
     :meth:`StreamingReachabilityService.adopt_snapshot` swaps it in.
     """
-    overlay = ReachGraphDeltaOverlay(StorageSystem(storage_config))
+    storage = StorageSystem(
+        storage_config, name=f"overlay-rebuild-{next(_REBUILD_NAMES)}", attach=False
+    )
+    overlay = ReachGraphDeltaOverlay(storage)
     overlay.install_snapshot(
         inputs.prefix,
         inputs.contacts,
@@ -148,6 +188,45 @@ def build_snapshot_overlay(
         build_reachgraph=inputs.build_reachgraph,
     )
     return overlay
+
+
+def build_snapshot_artifacts(inputs: MergeInputs) -> SnapshotArtifacts:
+    """Rebuild the query-side snapshot structures from captured merge inputs.
+
+    The pure (off-thread-safe) half of an LSM-mode merge: the contact network
+    over the full prefix and, when configured, the ReachGraph fast-path
+    processor.  No storage the service owns is touched — the snapshot store
+    append happens later, inside
+    :meth:`StreamingReachabilityService.adopt_merge`.
+    """
+    network = ContactNetwork(inputs.prefix, inputs.contacts, inputs.distance_threshold)
+    processor = None
+    if inputs.build_reachgraph:
+        from ..reachgraph import ReachGraphIndex, ReachGraphQueryProcessor
+
+        index = ReachGraphIndex(
+            inputs.prefix,
+            contact_config=None,
+            contact_network=network,
+        ).build()
+        processor = ReachGraphQueryProcessor(index)
+    return SnapshotArtifacts(network=network, processor=processor)
+
+
+def build_merge(
+    inputs: MergeInputs, storage_config: StorageConfig | None = None
+) -> MergeBuild:
+    """Run the pure build phase of a merge, honouring ``inputs.mode``.
+
+    Dispatches to :func:`build_snapshot_overlay` (rebuild) or
+    :func:`build_snapshot_artifacts` (lsm); either way the result is adopted
+    atomically by :meth:`StreamingReachabilityService.adopt_merge`.
+    """
+    if inputs.mode == "rebuild":
+        return MergeBuild(
+            overlay=build_snapshot_overlay(inputs, storage_config), artifacts=None
+        )
+    return MergeBuild(overlay=None, artifacts=build_snapshot_artifacts(inputs))
 
 
 @dataclass(frozen=True, slots=True)
@@ -164,6 +243,9 @@ class StreamingStats:
     snapshot_watermark: Optional[TimeInstant]
     delta_contacts: int
     snapshot_contacts: int
+    snapshot_runs: int
+    snapshot_records_written: int
+    compactions: int
     flushed_intervals: int
     ingest_seconds: float
 
@@ -205,7 +287,9 @@ class StreamingReachabilityService:
         )
         # The overlay gets its own storage system so per-query IO accounting
         # is not polluted by the ingestor's ongoing grid writes.
-        self._overlay = ReachGraphDeltaOverlay(StorageSystem(storage_config))
+        self._overlay = ReachGraphDeltaOverlay(
+            StorageSystem(storage_config, name=f"{name}-overlay", attach=False)
+        )
         self._policy = make_policy(self.streaming_config)
         self._cache = QueryResultCache(self.streaming_config.query_cache_size)
         self._consumed_closed = 0
@@ -213,6 +297,9 @@ class StreamingReachabilityService:
         self._batches = 0
         self._merges = 0
         self._queries = 0
+        self._compactions = 0
+        self._snapshot_records_written = 0
+        self._closed = False
 
     # ------------------------------------------------------------------
     # constructors
@@ -252,6 +339,7 @@ class StreamingReachabilityService:
         ``prevalidated`` is forwarded to the ingestor (see
         :meth:`StreamIngestor.ingest`).
         """
+        self._ensure_open()
         batch = (
             events
             if isinstance(events, StreamBatch)
@@ -300,7 +388,7 @@ class StreamingReachabilityService:
             self.merge()
 
     def merge(self, through: Optional[TimeInstant] = None) -> None:
-        """Fold the delta into a fresh snapshot over the ingested prefix.
+        """Fold the delta into the snapshot over the ingested prefix.
 
         Normally triggered by the merge policy; exposed so callers can force a
         merge (e.g. before a read-heavy phase).  ``through`` bounds the frozen
@@ -309,52 +397,117 @@ class StreamingReachabilityService:
         extending past the bound stay in the delta, clipped at the boundary.
 
         The three phases — :meth:`prepare_merge` (capture the frozen prefix),
-        :func:`build_snapshot_overlay` (pure rebuild), :meth:`adopt_snapshot`
-        (atomic swap) — are public so the asyncio front-end can run the
-        middle phase in a background thread; this method simply runs them
-        back to back.
+        :func:`build_merge` (the pure build, rebuild- or LSM-mode), and
+        :meth:`adopt_merge` (atomic adoption) — are public so the asyncio
+        front-end can run the middle phase in a background thread; this
+        method simply runs them back to back.
         """
         inputs = self.prepare_merge(through=through)
-        overlay = build_snapshot_overlay(inputs, self._storage_config)
-        self.adopt_snapshot(overlay, inputs.bound)
+        self.adopt_merge(build_merge(inputs, self._storage_config), inputs)
 
     def prepare_merge(self, through: Optional[TimeInstant] = None) -> MergeInputs:
         """Capture the frozen prefix a merge would fold into a snapshot.
 
-        Synchronous and cheap relative to the rebuild: materializes the
-        prefix dataset and its contact set through ``min(through, watermark)``.
-        The returned :class:`MergeInputs` shares no mutable state with the
-        ingestor, so a :func:`build_snapshot_overlay` over it may run
-        concurrently with further ingestion.
+        Synchronous and cheap relative to the build: materializes the prefix
+        dataset and its contact set through ``min(through, watermark)``, plus
+        the freshly frozen slice (clipped past the current snapshot
+        watermark) the LSM path appends.  The returned :class:`MergeInputs`
+        shares no mutable state with the ingestor, so a :func:`build_merge`
+        over it may run concurrently with further ingestion.
         """
+        self._ensure_open()
         watermark = self._ingestor.watermark
         if watermark is None:
             raise StreamingError("nothing to merge: no batch ingested yet")
         bound = watermark if through is None else min(through, watermark)
         self._sync_delta()
+        contacts = tuple(self._ingestor.contacts_through(bound))
+        snapshot_watermark = self._overlay.snapshot_watermark
+        mode = self.streaming_config.snapshot_mode
+        if mode == "rebuild":
+            # The rebuild path rewrites the full prefix and never reads the
+            # frozen slice; skip the per-contact clipping pass.
+            new_contacts: Tuple[Contact, ...] = ()
+        elif snapshot_watermark is None:
+            new_contacts = contacts
+        else:
+            new_contacts = tuple(
+                clipped
+                for clipped in (
+                    contact.clipped(snapshot_watermark + 1, contact.validity.end)
+                    for contact in contacts
+                )
+                if clipped is not None
+            )
         return MergeInputs(
             prefix=self._ingestor.prefix_dataset(through=bound),
-            contacts=tuple(self._ingestor.contacts_through(bound)),
+            contacts=contacts,
+            new_contacts=new_contacts,
             bound=bound,
             temporal_resolution=self.grid_config.temporal_resolution,
             distance_threshold=self.contact_config.distance_threshold,
             build_reachgraph=self.streaming_config.build_reachgraph_on_merge,
+            mode=mode,
         )
+
+    def adopt_merge(self, build: MergeBuild, inputs: MergeInputs) -> None:
+        """Atomically adopt the built half of a merge.
+
+        Rebuild mode swaps the complete fresh overlay in
+        (:meth:`adopt_snapshot`); LSM mode appends the frozen slice as one
+        snapshot run, installs the rebuilt query-side structures, and — once
+        the run count passes ``compaction_max_runs`` — folds the runs with a
+        compaction.  Either way, no step between the adoption and the cache
+        invalidation yields control, so concurrent queries see the old
+        snapshot or the fully adopted new one, never a mixture.
+        """
+        if build.overlay is not None:
+            self.adopt_snapshot(build.overlay, inputs.bound)
+            return
+        assert build.artifacts is not None, "MergeBuild must carry one half"
+        self._snapshot_records_written += self._overlay.adopt_increment(
+            build.artifacts,
+            inputs.new_contacts,
+            inputs.bound,
+            origin=inputs.prefix.horizon.start,
+            temporal_resolution=inputs.temporal_resolution,
+        )
+        self._finish_adopt(inputs.bound)
+        # Compaction deliberately runs here, on the adopting thread, even in
+        # the async service: it reads the live runs through the (non-thread-
+        # safe) buffer pool that concurrent queries also use, so moving it to
+        # a worker thread would race them.  The run append above is the cheap
+        # part; a compaction is bounded by the snapshot size and fires only
+        # once per compaction_max_runs merges.
+        compacted = self._overlay.maybe_compact(
+            self.streaming_config.compaction_max_runs
+        )
+        if compacted:
+            self._snapshot_records_written += compacted
+            self._compactions += 1
 
     def adopt_snapshot(
         self, overlay: ReachGraphDeltaOverlay, bound: TimeInstant
     ) -> None:
-        """Atomically swap a freshly built snapshot overlay in.
+        """Atomically swap a freshly built snapshot overlay in (rebuild mode).
 
         Restages the unfrozen halves of every closed contact extending past
         ``bound`` into the new overlay's delta (``add_contact`` clips them at
         the snapshot watermark), so the swap is correct even when ingestion
         advanced past the captured prefix while the overlay was being built.
-        No step between the swap and the cache invalidation yields control,
-        which is what keeps concurrently running queries consistent: they see
-        either the old overlay or the fully adopted new one, never a mixture.
+        The superseded overlay's storage system is destroyed: nothing
+        references it after the swap, and on persistent backends every
+        rebuild would otherwise leak an open device file (and its on-disk
+        bytes) into the storage directory.
         """
+        previous = self._overlay
+        self._snapshot_records_written += overlay.snapshot_records_written
         self._overlay = overlay
+        self._finish_adopt(bound)
+        if previous is not overlay and previous.storage is not overlay.storage:
+            previous.storage.destroy()
+
+    def _finish_adopt(self, bound: TimeInstant) -> None:
         for contact in self._ingestor.closed_contacts:
             if contact.validity.end > bound:
                 self._overlay.add_contact(contact)
@@ -368,6 +521,7 @@ class StreamingReachabilityService:
     # ------------------------------------------------------------------
     def query(self, query: ReachabilityQuery) -> QueryResult:
         """Answer a reachability query over everything ingested so far."""
+        self._ensure_open()
         self._queries += 1
         cached = self._cache.get(query)
         if cached is not None:
@@ -377,6 +531,67 @@ class StreamingReachabilityService:
         )
         self._cache.put(query, result)
         return result
+
+    # ------------------------------------------------------------------
+    # durability (persistent backends)
+    # ------------------------------------------------------------------
+    def _overlay_manifest(self) -> dict:
+        def records(contacts: Iterable[Contact]) -> List[Tuple[int, int, int, int]]:
+            return [
+                (c.first, c.second, c.validity.start, c.validity.end)
+                for c in contacts
+            ]
+
+        store = self._overlay.snapshot_store
+        return {
+            "watermark": self._ingestor.watermark,
+            "snapshot_watermark": self._overlay.snapshot_watermark,
+            "store": None if store is None else store.manifest(),
+            "delta": records(self._overlay.delta_contacts),
+            "open": records(self._ingestor.open_contacts()),
+        }
+
+    def flush(self) -> None:
+        """Persist the queryable state durably (a no-op on the sim backend).
+
+        Writes the overlay manifest — snapshot-store run directory, buffered
+        delta contacts, open contact runs, watermark — into the overlay
+        storage system's metadata and flushes both storage systems, so a
+        crash after this point loses nothing:
+        :meth:`SnapshotQueryService.open` can reconstruct a service answering
+        bit-identically at the flushed watermark.
+        """
+        self._overlay.storage.put_metadata(
+            _OVERLAY_MANIFEST_KEY, self._overlay_manifest()
+        )
+        self._overlay.storage.flush()
+        self._ingestor.storage.flush()
+
+    def close(self) -> None:
+        """Flush and release both storage systems.  Idempotent.
+
+        Afterwards the service must not ingest or answer queries; with a
+        persistent backend and a real ``storage_dir``, the state reopens via
+        :meth:`SnapshotQueryService.open`.  Reopening targets the LSM write
+        path (the default ``snapshot_mode``), whose snapshot store lives on
+        the service's own ``<name>-overlay`` device for its whole life;
+        ``rebuild`` mode places each merge's snapshot on a fresh per-merge
+        device, which :meth:`SnapshotQueryService.open` does not chase.
+        """
+        if self._closed:
+            return
+        self.flush()
+        self._overlay.storage.close()
+        self._ingestor.storage.close()
+        self._cache.clear()  # a closed service must not serve stale answers
+        self._closed = True
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise StreamingError(
+                f"service {self.name!r} is closed; reopen its persisted state "
+                "with SnapshotQueryService.open"
+            )
 
     # ------------------------------------------------------------------
     # introspection
@@ -402,6 +617,21 @@ class StreamingReachabilityService:
         return self._merges
 
     @property
+    def num_compactions(self) -> int:
+        """Snapshot-store compactions performed so far."""
+        return self._compactions
+
+    @property
+    def snapshot_records_written(self) -> int:
+        """Cumulative contact records written by merges and compactions.
+
+        The service-lifetime write-amplification ledger: rebuild-mode merges
+        add the complete prefix every time, LSM-mode merges add only the
+        freshly frozen slice (plus occasional compaction rewrites).
+        """
+        return self._snapshot_records_written
+
+    @property
     def stats(self) -> StreamingStats:
         """A snapshot of the service's counters."""
         return StreamingStats(
@@ -415,6 +645,9 @@ class StreamingReachabilityService:
             snapshot_watermark=self._overlay.snapshot_watermark,
             delta_contacts=self._overlay.delta_size,
             snapshot_contacts=self._overlay.snapshot_size,
+            snapshot_runs=self._overlay.snapshot_runs,
+            snapshot_records_written=self._snapshot_records_written,
+            compactions=self._compactions,
             flushed_intervals=self._ingestor.num_flushed_intervals,
             ingest_seconds=self._ingestor.ingest_seconds,
         )
@@ -423,5 +656,113 @@ class StreamingReachabilityService:
         return (
             f"StreamingReachabilityService(name={self.name!r}, "
             f"watermark={self.watermark}, merges={self._merges}, "
+            f"delta={self._overlay.delta_size})"
+        )
+
+
+class SnapshotQueryService:
+    """A read-only service reopened from a closed persistent storage system.
+
+    The ingest side of a streaming service is inherently in-memory (position
+    buffers, the incremental join); what :meth:`StreamingReachabilityService.flush`
+    makes durable is the *queryable* state — snapshot contact runs, buffered
+    delta contacts, open contact runs, and the watermark.  Reopening restores
+    exactly that: queries run through the overlay union path (snapshot runs
+    read from the reopened device, IO charged as usual) and answer
+    bit-identically to the service that was closed, at its final watermark.
+    The ReachGraph fast path is not persisted — it is a pure function of the
+    prefix and can always be rebuilt — so every answer takes the union path.
+    """
+
+    def __init__(
+        self,
+        storage: StorageSystem,
+        overlay: ReachGraphDeltaOverlay,
+        open_contacts: Sequence[Contact],
+        watermark: Optional[TimeInstant],
+    ) -> None:
+        self._storage = storage
+        self._overlay = overlay
+        self._open_contacts = list(open_contacts)
+        self._watermark = watermark
+        self._queries = 0
+
+    @classmethod
+    def open(
+        cls, storage_config: StorageConfig, name: str = "stream"
+    ) -> "SnapshotQueryService":
+        """Reopen the persisted state of the service that was named ``name``.
+
+        ``storage_config`` must use a persistent backend and the same
+        ``storage_dir`` the original service wrote to; ``name`` must match
+        the original service's name (the overlay device is looked up as
+        ``<name>-overlay``).
+        """
+        if storage_config.backend == "sim" or storage_config.storage_dir is None:
+            raise StreamingError(
+                "reopening needs a persistent backend and a real storage_dir"
+            )
+        # Probe for the durable manifest before constructing the storage
+        # system: attaching to a path that was never written would create a
+        # fresh empty device file — junk in the operator's data directory on
+        # what is purely a read operation with a wrong name or dir.
+        suffix = BACKEND_FILE_SUFFIX[storage_config.backend]
+        device_path = os.path.join(
+            storage_config.storage_dir, f"{name}-overlay{suffix}"
+        )
+        missing = StreamingError(
+            f"no persisted overlay manifest found for service {name!r} "
+            f"in {storage_config.storage_dir!r} (was the service closed?)"
+        )
+        if not os.path.exists(device_path + ".manifest"):
+            raise missing
+        storage = StorageSystem(storage_config, name=f"{name}-overlay")
+        manifest = storage.get_metadata(_OVERLAY_MANIFEST_KEY)
+        if manifest is None:
+            storage.close()
+            raise missing
+        overlay = ReachGraphDeltaOverlay(storage)
+        store = None
+        if manifest["store"] is not None:
+            store = ContactSnapshotStore.restore(storage, manifest["store"])
+        overlay.attach_snapshot_store(store, manifest["snapshot_watermark"])
+        overlay.restore_delta(
+            Contact(first, second, TimeInterval(start, end))
+            for first, second, start, end in manifest["delta"]
+        )
+        open_contacts = [
+            Contact(first, second, TimeInterval(start, end))
+            for first, second, start, end in manifest["open"]
+        ]
+        return cls(storage, overlay, open_contacts, manifest["watermark"])
+
+    def query(self, query: ReachabilityQuery) -> QueryResult:
+        """Answer a query over the persisted prefix (union path, IO charged)."""
+        self._queries += 1
+        return self._overlay.evaluate(query, open_contacts=self._open_contacts)
+
+    @property
+    def watermark(self) -> Optional[TimeInstant]:
+        """The watermark the persisted state answers through."""
+        return self._watermark
+
+    @property
+    def overlay(self) -> ReachGraphDeltaOverlay:
+        """The restored snapshot + delta overlay."""
+        return self._overlay
+
+    @property
+    def storage(self) -> StorageSystem:
+        """The reopened storage system (IO counters, paths)."""
+        return self._storage
+
+    def close(self) -> None:
+        """Release the reopened device (the state stays on disk)."""
+        self._storage.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SnapshotQueryService(watermark={self._watermark}, "
+            f"snapshot={self._overlay.snapshot_size}, "
             f"delta={self._overlay.delta_size})"
         )

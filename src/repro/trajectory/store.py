@@ -31,7 +31,7 @@ class TrajectoryStore:
 
     def __init__(self, dataset: TrajectoryDataset, storage: StorageSystem | None = None) -> None:
         self.dataset = dataset
-        self.storage = storage or StorageSystem()
+        self.storage = storage or StorageSystem(name="trajectories", attach=False)
         self._blockfile = self.storage.new_blockfile("trajectories")
         self._built = False
 

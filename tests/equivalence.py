@@ -19,12 +19,44 @@ from typing import Callable, Iterable, Mapping, Optional
 from repro.baselines.reference import evaluate_reachability
 from repro.contacts import build_contact_network
 from repro.contacts.network import ContactNetwork
-from repro.core import QueryResult, ReachabilityQuery, TimeInterval
+from repro.core import (
+    STORAGE_BACKENDS,
+    QueryResult,
+    ReachabilityQuery,
+    StorageConfig,
+    TimeInterval,
+)
 from repro.trajectory.model import TrajectoryDataset
 
-__all__ = ["prefix_network", "reference_evaluator", "assert_methods_agree"]
+__all__ = [
+    "EQUIVALENCE_BACKENDS",
+    "backend_storage_config",
+    "prefix_network",
+    "reference_evaluator",
+    "assert_methods_agree",
+]
 
 Evaluator = Callable[[ReachabilityQuery], QueryResult]
+
+#: The storage-backend axis of the equivalence suites: every service variant
+#: (streaming, sharded, async) must answer bit-identically no matter which
+#: block device its snapshot extents land on.
+EQUIVALENCE_BACKENDS = tuple(b for b in STORAGE_BACKENDS if b != "sim")
+
+
+def backend_storage_config(
+    backend: str, storage_dir: Optional[str] = None
+) -> Optional[StorageConfig]:
+    """A storage config placing a service's blocks on ``backend``.
+
+    ``"sim"`` returns ``None`` (the services' default config).  Persistent
+    backends without a ``storage_dir`` run in anonymous scratch directories
+    that vanish with the storage system — pass a real directory (e.g. a
+    pytest ``tmp_path``) when the test exercises close/reopen.
+    """
+    if backend == "sim":
+        return None
+    return StorageConfig(backend=backend, storage_dir=storage_dir)
 
 
 def prefix_network(

@@ -24,7 +24,13 @@ import asyncio
 
 import pytest
 
-from equivalence import assert_methods_agree, prefix_network, reference_evaluator
+from equivalence import (
+    EQUIVALENCE_BACKENDS,
+    assert_methods_agree,
+    backend_storage_config,
+    prefix_network,
+    reference_evaluator,
+)
 from repro.core import (
     ConfigurationError,
     ContactConfig,
@@ -64,13 +70,14 @@ def dataset():
     ).generate()
 
 
-def make_async(dataset, shards, **config_overrides):
+def make_async(dataset, shards, storage_config=None, **config_overrides):
     config = StreamingConfig(shards=shards, **config_overrides)
     return AsyncReachabilityService.for_dataset(
         dataset,
         contact_config=CONTACTS,
         grid_config=GRID,
         streaming_config=config,
+        storage_config=storage_config,
     )
 
 
@@ -135,6 +142,80 @@ class TestAsyncEquivalence:
 
         stats = run(scenario())
         assert stats.sharded.events == dataset.num_objects * dataset.num_instants
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("backend", EQUIVALENCE_BACKENDS)
+    def test_equivalence_on_persistent_backends(self, dataset, backend):
+        """The storage_backend axis of the async contract: background merges
+        appending snapshot runs to a real device must leave every awaited
+        answer bit-identical to the batch reference at each watermark."""
+
+        async def scenario():
+            service = make_async(
+                dataset,
+                shards=2,
+                storage_config=backend_storage_config(backend),
+                max_delta_contacts=16,
+                batch_ticks=12,
+            )
+            workload = list(random_queries(dataset, count=8, seed=29))
+            async with service:
+                for batch in DatasetReplaySource(dataset, batch_ticks=12).batches():
+                    await service.ingest(batch)
+                    await service.drain()
+                    low = service.low_watermark
+                    assert_methods_agree(
+                        reference_evaluator(
+                            prefix_network(dataset, THRESHOLD, through=low)
+                        ),
+                        {
+                            f"async-{backend}": await collect_async_answers(
+                                service, workload
+                            )
+                        },
+                        workload,
+                        check_earliest=True,
+                        context=f"backend={backend}, watermark={low}",
+                    )
+                assert service.background_merges > 0
+            return service.stats
+
+        stats = run(scenario())
+        assert stats.sharded.events == dataset.num_objects * dataset.num_instants
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("backend", EQUIVALENCE_BACKENDS)
+    def test_aclose_persists_shard_state_durably(self, dataset, backend, tmp_path):
+        """Regression: shutting the async front-end down must flush and close
+        the per-shard storage systems — on a persistent backend every shard's
+        overlay manifest has to reach the directory, or the data dies with
+        the process's file buffers."""
+
+        async def scenario():
+            service = make_async(
+                dataset,
+                shards=2,
+                storage_config=backend_storage_config(
+                    backend, storage_dir=str(tmp_path)
+                ),
+                merge_policy="elapsed-intervals",
+                max_elapsed_intervals=2,
+                batch_ticks=12,
+            )
+            async with service:
+                for batch in DatasetReplaySource(dataset, batch_ticks=12).batches():
+                    await service.ingest(batch)
+                await service.drain()
+            return service.stats
+
+        stats = run(scenario())
+        assert stats.sharded.merges > 0
+        overlay_manifests = [
+            p
+            for p in tmp_path.iterdir()
+            if "-overlay" in p.name and p.name.endswith(".manifest")
+        ]
+        assert len(overlay_manifests) == 2, "one durable manifest per shard"
 
     @pytest.mark.parametrize("shards", (2, 4))
     def test_queries_while_merges_in_flight(self, dataset, shards):

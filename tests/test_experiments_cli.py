@@ -116,6 +116,7 @@ class TestExperimentDrivers:
             "stream",
             "stream-sharded",
             "stream-async",
+            "stream-disk",
         }
 
     def test_table1_is_static(self):
@@ -184,6 +185,16 @@ class TestCli:
         assert args.quick is True
         assert args.output == "report.txt"
         assert args.json is None
+        assert args.storage_backend is None
+
+    def test_parser_validates_storage_backend(self):
+        parser = build_parser()
+        assert (
+            parser.parse_args(["stream", "--storage-backend", "file"]).storage_backend
+            == "file"
+        )
+        with pytest.raises(SystemExit):
+            parser.parse_args(["stream", "--storage-backend", "tape"])
 
     def test_quick_overrides_reference_known_experiments(self):
         # Guards against drift when experiments are added or renamed: every

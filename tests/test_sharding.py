@@ -19,7 +19,13 @@ import random
 
 import pytest
 
-from equivalence import assert_methods_agree, prefix_network, reference_evaluator
+from equivalence import (
+    EQUIVALENCE_BACKENDS,
+    assert_methods_agree,
+    backend_storage_config,
+    prefix_network,
+    reference_evaluator,
+)
 from repro.core import (
     ConfigurationError,
     ContactConfig,
@@ -69,13 +75,14 @@ def dataset():
     ).generate()
 
 
-def make_sharded(dataset, shards, router, **config_overrides):
+def make_sharded(dataset, shards, router, storage_config=None, **config_overrides):
     config = StreamingConfig(shards=shards, router=router, **config_overrides)
     return ShardedReachabilityService.for_dataset(
         dataset,
         contact_config=CONTACTS,
         grid_config=GRID,
         streaming_config=config,
+        storage_config=storage_config,
     )
 
 
@@ -143,6 +150,35 @@ class TestShardedEquivalence:
                 context=f"shards={shards}, router={router}, watermark={low}",
             )
         assert sharded.num_merges > 0
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("backend", EQUIVALENCE_BACKENDS)
+    def test_equivalence_on_persistent_backends(self, dataset, shards, backend):
+        """Per-shard snapshot extents on a real device: answers at every
+        watermark must stay bit-identical to the batch reference (the
+        storage_backend axis of the sharded equivalence contract)."""
+        sharded = make_sharded(
+            dataset,
+            shards,
+            "hash",
+            storage_config=backend_storage_config(backend),
+            merge_policy="elapsed-intervals",
+            max_elapsed_intervals=2,
+            batch_ticks=12,
+        )
+        workload = random_queries(dataset, count=8, seed=23)
+        for batch in DatasetReplaySource(dataset, batch_ticks=12).batches():
+            sharded.ingest(batch)
+            low = sharded.low_watermark
+            assert_methods_agree(
+                reference_evaluator(prefix_network(dataset, THRESHOLD, through=low)),
+                {f"sharded-{backend}": sharded.query},
+                workload,
+                check_earliest=True,
+                context=f"shards={shards}, backend={backend}, watermark={low}",
+            )
+        assert sharded.num_merges > 0, "merges must hit the real device"
+        sharded.close()
 
     @pytest.mark.parametrize("router", ROUTERS)
     @pytest.mark.parametrize("seed", (0, 1))
@@ -420,3 +456,23 @@ class TestShardedService:
         assert sum(stats.shard_events) == stats.events
         assert stats.low_watermark == dataset.horizon.end
         assert stats.events_per_second > 0
+
+    def test_closed_service_rejects_use(self, dataset):
+        """Regression: a closed coordinator must not serve stale cached
+        answers or surface raw storage errors from its closed shards."""
+        from repro.core import StreamingError
+        from repro.workloads.queries import random_queries as _queries
+
+        service = make_sharded(dataset, 2, "hash")
+        batches = list(DatasetReplaySource(dataset, batch_ticks=30).batches())
+        service.ingest(batches[0])
+        query = next(iter(_queries(dataset, count=1, seed=3)))
+        service.query(query)  # populate the coordinator cache
+        service.close()
+        with pytest.raises(StreamingError):
+            service.query(query)
+        with pytest.raises(StreamingError):
+            service.ingest(batches[1])
+        with pytest.raises(StreamingError):
+            service.merge()
+        service.close()  # idempotent

@@ -85,3 +85,69 @@ class TestBufferPool:
         pool.read(1)
         pool.read(2)
         assert pool.hit_ratio == pytest.approx(1 / 3)
+
+
+class TestWriteBack:
+    """The write-back discipline: dirty frames reach the device, exactly once."""
+
+    def test_write_stages_without_touching_the_device(self, disk_with_blocks):
+        pool = BufferPool(disk_with_blocks, capacity=4)
+        writes_before = disk_with_blocks.stats.writes
+        pool.write(3, "staged")
+        assert pool.dirty_blocks == 1
+        assert disk_with_blocks.stats.writes == writes_before
+        assert disk_with_blocks.peek(3) == "payload-3", "device must be untouched"
+        assert pool.read(3) == "staged", "the pool serves the staged version"
+
+    def test_eviction_writes_dirty_frame_back(self, disk_with_blocks):
+        disk_with_blocks.reset_stats()
+        pool = BufferPool(disk_with_blocks, capacity=2)
+        pool.write(0, "dirty-0")
+        pool.read(1)
+        pool.read(2)  # evicts block 0 (LRU) → must write back
+        assert not pool.contains(0)
+        assert pool.dirty_blocks == 0
+        assert disk_with_blocks.peek(0) == "dirty-0"
+        assert disk_with_blocks.stats.writes == 1
+
+    def test_clean_eviction_does_not_write(self, disk_with_blocks):
+        disk_with_blocks.reset_stats()
+        pool = BufferPool(disk_with_blocks, capacity=2)
+        pool.read(0)
+        pool.read(1)
+        pool.read(2)  # evicts clean block 0
+        assert disk_with_blocks.stats.writes == 0
+
+    def test_flush_writes_all_dirty_frames_and_keeps_them_resident(
+        self, disk_with_blocks
+    ):
+        disk_with_blocks.reset_stats()
+        pool = BufferPool(disk_with_blocks, capacity=4)
+        pool.write(5, "five")
+        pool.write(6, "six")
+        pool.flush()
+        assert pool.dirty_blocks == 0
+        assert pool.contains(5) and pool.contains(6)
+        assert disk_with_blocks.peek(5) == "five"
+        assert disk_with_blocks.peek(6) == "six"
+        pool.flush()  # nothing dirty: no further writes
+        assert disk_with_blocks.stats.writes == 2
+
+    def test_invalidate_and_clear_write_back_before_dropping(self, disk_with_blocks):
+        pool = BufferPool(disk_with_blocks, capacity=4)
+        pool.write(7, "seven")
+        pool.invalidate(7)
+        assert disk_with_blocks.peek(7) == "seven"
+        pool.write(8, "eight")
+        pool.clear()
+        assert disk_with_blocks.peek(8) == "eight"
+        assert pool.dirty_blocks == 0
+
+    def test_rewrite_of_dirty_frame_writes_once_on_eviction(self, disk_with_blocks):
+        disk_with_blocks.reset_stats()
+        pool = BufferPool(disk_with_blocks, capacity=4)
+        pool.write(4, "v1")
+        pool.write(4, "v2")
+        pool.flush()
+        assert disk_with_blocks.peek(4) == "v2"
+        assert disk_with_blocks.stats.writes == 1

@@ -11,7 +11,13 @@ from __future__ import annotations
 
 import pytest
 
-from equivalence import assert_methods_agree, prefix_network, reference_evaluator
+from equivalence import (
+    EQUIVALENCE_BACKENDS,
+    assert_methods_agree,
+    backend_storage_config,
+    prefix_network,
+    reference_evaluator,
+)
 from repro.core import (
     ConfigurationError,
     Point,
@@ -31,6 +37,7 @@ from repro.streaming import (
     GeneratorReplaySource,
     MergeContext,
     SampleEvent,
+    SnapshotQueryService,
     StreamBatch,
     StreamIngestor,
     StreamingReachabilityService,
@@ -528,6 +535,364 @@ class TestMergeEdgeCases:
         snapshot_watermark = service.overlay.snapshot_watermark
         for contact in service.overlay._delta.contacts:
             assert contact.validity.end > snapshot_watermark
+
+
+# ----------------------------------------------------------------------
+# storage-backend axis: file/mmap answers ≡ sim answers ≡ reference
+# ----------------------------------------------------------------------
+class TestStorageBackendEquivalence:
+    """The acceptance contract of the pluggable-backend issue: a file- or
+    mmap-backed service answers bit-identically to the simulated backend at
+    every watermark, including after a close/reopen of the backing files."""
+
+    @pytest.mark.parametrize("backend", EQUIVALENCE_BACKENDS)
+    def test_equivalence_at_every_watermark(
+        self, backend, tiny_dataset, tiny_contact_config
+    ):
+        config = StreamingConfig(max_delta_contacts=48)
+        simulated = StreamingReachabilityService.for_dataset(
+            tiny_dataset, contact_config=tiny_contact_config, streaming_config=config
+        )
+        disk_backed = StreamingReachabilityService.for_dataset(
+            tiny_dataset,
+            contact_config=tiny_contact_config,
+            streaming_config=config,
+            storage_config=backend_storage_config(backend),
+        )
+        workload = random_queries(tiny_dataset, count=10, seed=13)
+        for batch in DatasetReplaySource(tiny_dataset, batch_ticks=12).batches():
+            simulated.ingest(batch)
+            disk_backed.ingest(batch)
+            for query in workload:
+                expected = simulated.query(query)
+                actual = disk_backed.query(query)
+                assert (actual.reachable, actual.earliest_time) == (
+                    expected.reachable,
+                    expected.earliest_time,
+                ), (
+                    f"backend={backend}, watermark={disk_backed.watermark}: "
+                    f"{query} diverged from the simulated backend"
+                )
+        assert disk_backed.num_merges > 0, "merges must hit the real device"
+
+    @pytest.mark.parametrize("backend", EQUIVALENCE_BACKENDS)
+    def test_close_reopen_answers_match_at_final_watermark(
+        self, backend, tmp_path, tiny_dataset, tiny_network, tiny_contact_config
+    ):
+        storage_config = backend_storage_config(backend, storage_dir=str(tmp_path))
+        service = StreamingReachabilityService.for_dataset(
+            tiny_dataset,
+            contact_config=tiny_contact_config,
+            streaming_config=StreamingConfig(max_delta_contacts=48),
+            storage_config=storage_config,
+        )
+        service.drain(tiny_dataset)
+        service.close()
+        reopened = SnapshotQueryService.open(storage_config, name=service.name)
+        assert reopened.watermark == tiny_dataset.horizon.end
+        assert_methods_agree(
+            reference_evaluator(tiny_network),
+            {f"reopened-{backend}": reopened.query},
+            random_queries(tiny_dataset, count=25, seed=19),
+            check_earliest=True,
+            require_earliest=True,
+            context=f"backend={backend}, reopened",
+        )
+        reopened.close()
+
+    @pytest.mark.parametrize("backend", EQUIVALENCE_BACKENDS)
+    def test_close_reopen_mid_stream_answers_over_prefix(
+        self, backend, tmp_path, tiny_dataset, tiny_contact_config
+    ):
+        storage_config = backend_storage_config(backend, storage_dir=str(tmp_path))
+        service = StreamingReachabilityService.for_dataset(
+            tiny_dataset,
+            contact_config=tiny_contact_config,
+            streaming_config=StreamingConfig(max_delta_contacts=10_000),
+            storage_config=storage_config,
+        )
+        batches = list(DatasetReplaySource(tiny_dataset, batch_ticks=10).batches())
+        for batch in batches[: len(batches) // 2]:
+            service.ingest(batch)
+        service.merge()  # part of the prefix frozen on the device...
+        for batch in batches[len(batches) // 2 : len(batches) // 2 + 2]:
+            service.ingest(batch)  # ...and a live delta tail on top
+        watermark = service.watermark
+        assert service.overlay.delta_size > 0 or service.ingestor.open_contacts()
+        service.close()
+        reopened = SnapshotQueryService.open(storage_config, name=service.name)
+        assert reopened.watermark == watermark
+        assert_methods_agree(
+            reference_evaluator(
+                prefix_network(tiny_dataset, TINY_THRESHOLD, through=watermark)
+            ),
+            {f"reopened-{backend}": reopened.query},
+            random_queries(tiny_dataset, count=15, seed=31),
+            check_earliest=True,
+            require_earliest=True,
+            context=f"backend={backend}, reopened mid-stream at {watermark}",
+        )
+        reopened.close()
+
+    @pytest.mark.parametrize("backend", EQUIVALENCE_BACKENDS)
+    def test_recreating_a_service_over_a_used_dir_starts_fresh(
+        self, backend, tmp_path, tiny_dataset, tiny_contact_config
+    ):
+        """Regression: a second service pointed at a directory a previous run
+        wrote to must start from empty devices, not crash re-registering the
+        previous run's cataloged block files."""
+        storage_config = backend_storage_config(backend, storage_dir=str(tmp_path))
+        batches = list(DatasetReplaySource(tiny_dataset, batch_ticks=20).batches())
+        first = StreamingReachabilityService.for_dataset(
+            tiny_dataset,
+            contact_config=tiny_contact_config,
+            storage_config=storage_config,
+        )
+        first.ingest(batches[0])
+        first.merge()
+        first.close()
+
+        second = StreamingReachabilityService.for_dataset(
+            tiny_dataset,
+            contact_config=tiny_contact_config,
+            storage_config=storage_config,
+        )
+        assert second.watermark is None, "the rerun must not inherit old state"
+        second.ingest(batches[0])
+        second.merge()
+        assert second.overlay.snapshot_size == first.overlay.snapshot_size
+        second.close()
+
+    def test_engine_rejects_storage_dir_on_sim_backend(
+        self, tmp_path, tiny_dataset, tiny_contact_config
+    ):
+        """Regression: silently ignoring storage_dir on the in-memory backend
+        would drop the persistence the caller asked for."""
+        engine = ReachabilityEngine(tiny_dataset, contact_config=tiny_contact_config)
+        with pytest.raises(ConfigurationError):
+            engine.streaming(storage_dir=str(tmp_path))
+        service = engine.streaming(
+            storage_backend="file", storage_dir=str(tmp_path)
+        )
+        assert service.overlay.storage.config.backend == "file"
+        service.close()
+
+    @pytest.mark.parametrize("backend", EQUIVALENCE_BACKENDS)
+    def test_rebuild_mode_closes_superseded_overlay_devices(
+        self, backend, tmp_path, tiny_dataset, tiny_contact_config
+    ):
+        """Regression: every rebuild-mode merge swaps in a fresh overlay; the
+        superseded overlay's device must be closed, not left as an open file
+        handle for the life of the service."""
+        service = StreamingReachabilityService.for_dataset(
+            tiny_dataset,
+            contact_config=tiny_contact_config,
+            streaming_config=StreamingConfig(
+                max_delta_contacts=48,
+                snapshot_mode="rebuild",
+                build_reachgraph_on_merge=False,
+            ),
+            storage_config=backend_storage_config(backend, storage_dir=str(tmp_path)),
+        )
+        overlays = []
+        for batch in DatasetReplaySource(tiny_dataset, batch_ticks=12).batches():
+            if service.overlay not in overlays:
+                overlays.append(service.overlay)
+            service.ingest(batch)
+        assert service.num_merges > 1
+        for overlay in overlays:
+            if overlay is not service.overlay:
+                assert overlay.storage.disk.closed, "superseded device left open"
+        assert not service.overlay.storage.disk.closed
+        # ... and their backing files are gone: only the grid device and the
+        # one live overlay device may remain in the directory.
+        overlay_files = [
+            p for p in tmp_path.iterdir() if "overlay-rebuild" in p.name
+        ]
+        live = service.overlay.storage.path
+        assert live is not None
+        assert all(str(p).startswith(live) for p in overlay_files), overlay_files
+        service.close()
+
+    @pytest.mark.parametrize("backend", EQUIVALENCE_BACKENDS)
+    def test_open_with_wrong_name_neither_creates_files_nor_leaks(
+        self, backend, tmp_path, tiny_dataset, tiny_contact_config
+    ):
+        """Regression: a reopen probe with a bad name/dir is a read operation;
+        it must not scatter fresh empty device files into the directory."""
+        storage_config = backend_storage_config(backend, storage_dir=str(tmp_path))
+        with pytest.raises(StreamingError):
+            SnapshotQueryService.open(storage_config, name="no-such-service")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_closed_service_rejects_use(self, tiny_dataset, tiny_contact_config):
+        service = StreamingReachabilityService.for_dataset(
+            tiny_dataset, contact_config=tiny_contact_config
+        )
+        batches = list(DatasetReplaySource(tiny_dataset, batch_ticks=30).batches())
+        service.ingest(batches[0])
+        query = ReachabilityQuery(0, 1, TimeInterval(0, 20))
+        service.query(query)  # populate the cache
+        service.close()
+        with pytest.raises(StreamingError):
+            service.query(query)  # even the previously cached answer
+        with pytest.raises(StreamingError):
+            service.ingest(batches[1])
+        with pytest.raises(StreamingError):
+            service.merge()
+        service.close()  # still idempotent
+
+    @pytest.mark.parametrize("backend", EQUIVALENCE_BACKENDS)
+    def test_no_files_leak_outside_storage_dir(
+        self, backend, tmp_path, tiny_dataset, tiny_contact_config
+    ):
+        storage_dir = tmp_path / "contained"
+        service = StreamingReachabilityService.for_dataset(
+            tiny_dataset,
+            contact_config=tiny_contact_config,
+            storage_config=backend_storage_config(backend, storage_dir=str(storage_dir)),
+        )
+        batches = list(DatasetReplaySource(tiny_dataset, batch_ticks=20).batches())
+        service.ingest(batches[0])
+        service.merge()
+        service.close()
+        assert storage_dir.exists() and any(storage_dir.iterdir())
+        stray = [p for p in tmp_path.iterdir() if p != storage_dir]
+        assert stray == [], f"files escaped the storage dir: {stray}"
+
+
+# ----------------------------------------------------------------------
+# LSM snapshot compaction (the merge write path)
+# ----------------------------------------------------------------------
+class TestSnapshotCompaction:
+    def _service(self, dataset, contact_config, **overrides):
+        return StreamingReachabilityService.for_dataset(
+            dataset,
+            contact_config=contact_config,
+            streaming_config=StreamingConfig(**overrides),
+        )
+
+    def test_zero_delta_merge_is_a_store_noop(self, tiny_dataset, tiny_contact_config):
+        service = self._service(
+            tiny_dataset, tiny_contact_config, max_delta_contacts=10_000
+        )
+        service.drain(tiny_dataset)
+        service.merge()
+        store = service.overlay.snapshot_store
+        written = store.records_written
+        runs = store.num_runs
+        blocks = store.num_blocks
+        service.merge()  # zero-delta: nothing new to freeze
+        assert store.records_written == written, "zero-delta merge wrote records"
+        assert store.num_runs == runs
+        assert store.num_blocks == blocks
+        assert service.num_merges == 2
+
+    def test_compaction_triggers_and_bounds_run_count(
+        self, tiny_dataset, tiny_network, tiny_contact_config
+    ):
+        service = self._service(
+            tiny_dataset,
+            tiny_contact_config,
+            max_delta_contacts=16,
+            compaction_max_runs=2,
+            build_reachgraph_on_merge=False,
+        )
+        service.drain(tiny_dataset)
+        stats = service.stats
+        assert stats.merges > 3, "workload must force several merges"
+        assert stats.compactions >= 1, "run count should have crossed the bound"
+        assert stats.snapshot_runs <= 2
+        store = service.overlay.snapshot_store
+        assert store.superseded_blocks > 0
+        # Folding runs must not change what the snapshot answers.
+        assert_methods_agree(
+            reference_evaluator(tiny_network),
+            {"post-compaction": service.query},
+            random_queries(tiny_dataset, count=25, seed=41),
+            check_earliest=True,
+        )
+
+    def test_compaction_preserves_contact_views_across_merge(
+        self, tiny_dataset, tiny_contact_config
+    ):
+        """``contacts_through`` coverage and the ``closed_contacts_since``
+        positions must be invariant under merges *and* compactions."""
+
+        def coverage(contacts):
+            per_pair = {}
+            for contact in contacts:
+                key = (contact.first, contact.second)
+                per_pair[key] = per_pair.get(key, 0) + contact.validity.length
+            return per_pair
+
+        service = self._service(
+            tiny_dataset,
+            tiny_contact_config,
+            max_delta_contacts=16,
+            compaction_max_runs=2,
+            build_reachgraph_on_merge=False,
+        )
+        batches = list(DatasetReplaySource(tiny_dataset, batch_ticks=10).batches())
+        midpoint = len(batches) // 2
+        for batch in batches[:midpoint]:
+            service.ingest(batch)
+        ingestor = service.ingestor
+        watermark = service.watermark
+        before = coverage(ingestor.contacts_through(watermark))
+        seen = ingestor.num_closed_contacts
+        head = ingestor.closed_contacts_since(0)
+        service.merge()
+        assert coverage(ingestor.contacts_through(watermark)) == before
+        assert ingestor.closed_contacts_since(0)[:seen] == head
+        for batch in batches[midpoint:]:
+            service.ingest(batch)
+        # The second half must have folded runs at least once; the ingestor's
+        # append-only views survive both the merges and the compactions.
+        assert service.num_compactions >= 1, "workload must trigger a compaction"
+        assert ingestor.closed_contacts_since(0)[:seen] == head
+        final = service.watermark
+        assert coverage(ingestor.contacts_through(watermark)) == before
+        assert coverage(service.ingestor.contacts_through(final)) == coverage(
+            prefix_network(tiny_dataset, TINY_THRESHOLD, through=final).contacts
+        )
+
+    def test_lsm_write_amplification_below_rebuild(
+        self, tiny_dataset, tiny_contact_config
+    ):
+        """The point of the LSM path: on a multi-merge workload it must write
+        strictly fewer snapshot records than rebuild-from-scratch."""
+        ledgers = {}
+        for mode in ("lsm", "rebuild"):
+            service = self._service(
+                tiny_dataset,
+                tiny_contact_config,
+                max_delta_contacts=16,
+                snapshot_mode=mode,
+                build_reachgraph_on_merge=False,
+            )
+            service.drain(tiny_dataset)
+            assert service.num_merges > 3
+            ledgers[mode] = service.snapshot_records_written
+        assert ledgers["lsm"] < ledgers["rebuild"], ledgers
+
+    def test_rebuild_mode_still_answers_identically(
+        self, tiny_dataset, tiny_network, tiny_contact_config
+    ):
+        service = self._service(
+            tiny_dataset,
+            tiny_contact_config,
+            max_delta_contacts=48,
+            snapshot_mode="rebuild",
+        )
+        service.drain(tiny_dataset)
+        assert service.num_merges > 0
+        assert_methods_agree(
+            reference_evaluator(tiny_network),
+            {"rebuild-mode": service.query},
+            random_queries(tiny_dataset, count=25, seed=43),
+            check_earliest=True,
+        )
 
 
 class TestStreamExperiment:
