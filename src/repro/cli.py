@@ -12,6 +12,7 @@ Usage::
     python -m repro.cli stream-sharded       # shard-count scaling curve
     python -m repro.cli stream-async --concurrency 8  # sync vs asyncio serving
     python -m repro.cli stream-disk          # sim vs file vs mmap comparison
+    python -m repro.cli stream-graph         # incremental vs rebuild graph merges
     python -m repro.cli table5 --json out.json  # machine-readable results too
 """
 
@@ -21,7 +22,7 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
-from .core.config import STORAGE_BACKENDS
+from .core.config import GRAPH_MODES, STORAGE_BACKENDS
 from .experiments.figures import EXPERIMENTS
 from .experiments.report import format_result, format_results_json
 
@@ -45,6 +46,7 @@ _QUICK_OVERRIDES = {
     "stream-sharded": {"dataset_names": ("rwp-tiny",), "num_queries": 6, "shard_counts": (1, 2, 4)},
     "stream-async": {"dataset_names": ("rwp-tiny",), "num_queries": 6, "queries_per_batch": 2},
     "stream-disk": {"dataset_names": ("rwp-tiny",), "num_queries": 6},
+    "stream-graph": {"dataset_names": ("rwp-tiny",), "num_queries": 6, "max_delta_contacts": 24},
 }
 
 #: How --shards N is injected, per experiment that understands sharding.
@@ -61,12 +63,20 @@ _STORAGE_BACKEND_KWARGS = {
     "stream-sharded": lambda backend: {"storage_backend": backend},
     "stream-async": lambda backend: {"storage_backend": backend},
     "stream-disk": lambda backend: {"backends": (backend,)},
+    "stream-graph": lambda backend: {"storage_backend": backend},
 }
 
 #: How --concurrency N is injected, per experiment that serves queries
 #: concurrently with ingestion.
 _CONCURRENCY_KWARGS = {
     "stream-async": lambda concurrency: {"concurrency": concurrency},
+}
+
+#: How --graph-mode MODE is injected, per experiment whose streaming service
+#: maintains a ReachGraph fast path across merges.
+_GRAPH_MODE_KWARGS = {
+    "stream": lambda mode: {"graph_mode": mode},
+    "stream-graph": lambda mode: {"graph_modes": (mode,)},
 }
 
 
@@ -125,6 +135,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--graph-mode",
+        choices=GRAPH_MODES,
+        default=None,
+        help=(
+            "maintain the streaming ReachGraph incrementally or rebuild it "
+            f"per merge (applies to: {', '.join(sorted(_GRAPH_MODE_KWARGS))})"
+        ),
+    )
+    parser.add_argument(
         "--storage-backend",
         choices=STORAGE_BACKENDS,
         default=None,
@@ -142,6 +161,7 @@ def _run_one(
     shards: Optional[int] = None,
     concurrency: Optional[int] = None,
     storage_backend: Optional[str] = None,
+    graph_mode: Optional[str] = None,
 ):
     driver = EXPERIMENTS[name]
     kwargs = dict(_QUICK_OVERRIDES.get(name, {})) if quick else {}
@@ -151,6 +171,8 @@ def _run_one(
         kwargs.update(_CONCURRENCY_KWARGS[name](concurrency))
     if storage_backend is not None and name in _STORAGE_BACKEND_KWARGS:
         kwargs.update(_STORAGE_BACKEND_KWARGS[name](storage_backend))
+    if graph_mode is not None and name in _GRAPH_MODE_KWARGS:
+        kwargs.update(_GRAPH_MODE_KWARGS[name](graph_mode))
     return driver(**kwargs)
 
 
@@ -190,6 +212,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 shards=args.shards,
                 concurrency=args.concurrency,
                 storage_backend=args.storage_backend,
+                graph_mode=args.graph_mode,
             )
         )
     report = "\n\n".join(format_result(result) for result in results)

@@ -25,6 +25,7 @@ __all__ = [
     "GrailConfig",
     "ContactConfig",
     "StreamingConfig",
+    "GRAPH_MODES",
     "MERGE_POLICIES",
     "SHARD_ROUTERS",
     "SNAPSHOT_MODES",
@@ -217,6 +218,15 @@ SHARD_ROUTERS: Tuple[str, ...] = ("hash", "spatial")
 #: pre-LSM behaviour, kept for write-amplification comparisons).
 SNAPSHOT_MODES: Tuple[str, ...] = ("lsm", "rebuild")
 
+#: How a streaming merge advances the snapshot's ReachGraph fast path (see
+#: :mod:`repro.reachgraph.index`): ``incremental`` patches the reduced DAG in
+#: place — appending contacts at the frontier extends or splits open component
+#: vertices, newly complete augmentation windows add their long edges, and
+#: only dirty partitions are rewritten — while ``rebuild`` reduces, augments,
+#: partitions, and writes the whole graph from scratch on every merge (the
+#: pre-incremental behaviour, kept for write-amplification comparisons).
+GRAPH_MODES: Tuple[str, ...] = ("incremental", "rebuild")
+
 
 @dataclass(frozen=True, slots=True)
 class StreamingConfig:
@@ -273,6 +283,16 @@ class StreamingConfig:
         Run-count threshold of the LSM path: once a merge leaves more than
         this many live runs, a compaction folds them into one (superseding
         the old extents).  Ignored in ``rebuild`` mode.
+    graph_mode:
+        One of :data:`GRAPH_MODES` — how a merge advances the snapshot's
+        ReachGraph index.  ``incremental`` (default) computes a DAG patch over
+        the freshly frozen ticks and applies it to the live index, rewriting
+        only dirty partitions; ``rebuild`` constructs a fresh index over the
+        full prefix on every merge.  Only meaningful with
+        ``snapshot_mode="lsm"`` and ``build_reachgraph_on_merge=True`` (the
+        overlay-rebuild snapshot mode replaces the whole overlay, index
+        included, and services that skip the fast path have no graph to
+        maintain).
     """
 
     batch_ticks: int = 8
@@ -287,6 +307,7 @@ class StreamingConfig:
     async_queue_depth: int = 4
     snapshot_mode: str = "lsm"
     compaction_max_runs: int = 4
+    graph_mode: str = "incremental"
 
     def __post_init__(self) -> None:
         if self.batch_ticks <= 0:
@@ -320,10 +341,19 @@ class StreamingConfig:
             )
         if self.compaction_max_runs <= 0:
             raise ConfigurationError("compaction_max_runs must be positive")
+        if self.graph_mode not in GRAPH_MODES:
+            raise ConfigurationError(
+                f"unknown graph mode {self.graph_mode!r}; "
+                f"choose one of {', '.join(GRAPH_MODES)}"
+            )
 
     def with_merge_policy(self, policy: str) -> "StreamingConfig":
         """Copy of this config with a different merge policy."""
         return replace(self, merge_policy=policy)
+
+    def with_graph_mode(self, graph_mode: str) -> "StreamingConfig":
+        """Copy of this config with a different ReachGraph merge mode."""
+        return replace(self, graph_mode=graph_mode)
 
     def with_shards(self, shards: int, router: str | None = None) -> "StreamingConfig":
         """Copy of this config with a different shard count (and router)."""

@@ -153,6 +153,7 @@ class ReachabilityEngine:
         async_mode: bool = False,
         storage_backend: str | None = None,
         storage_dir: str | None = None,
+        graph_mode: str | None = None,
     ):
         """A streaming reachability service configured like this engine
         (same contact and storage parameters).
@@ -183,12 +184,19 @@ class ReachabilityEngine:
         the unsharded synchronous service (the default); the sharded and
         async services close durably per shard, but no unioned reopen path
         exists for them yet (see ROADMAP).
+
+        ``graph_mode`` selects how merges advance the snapshot's ReachGraph
+        fast path (one of ``GRAPH_MODES``): ``incremental`` patches the
+        reduced DAG in place so merge cost tracks the delta, ``rebuild``
+        reconstructs it from scratch every merge (kept for comparisons).
         """
         config = streaming_config or StreamingConfig()
         if shards is not None or router is not None:
             config = config.with_shards(
                 config.shards if shards is None else shards, router=router
             )
+        if graph_mode is not None:
+            config = config.with_graph_mode(graph_mode)
         storage_config = self.storage_config
         if storage_backend is not None or storage_dir is not None:
             effective = storage_backend or storage_config.backend

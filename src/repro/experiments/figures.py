@@ -693,6 +693,13 @@ def _disk_backend_replay(**kwargs) -> ExperimentResult:
     return disk_backend_replay(**kwargs)
 
 
+def _graph_merge_replay(**kwargs) -> ExperimentResult:
+    """ReachGraph merge cost: patch the reduced DAG vs rebuild it every merge."""
+    from ..streaming.experiment import graph_merge_replay
+
+    return graph_merge_replay(**kwargs)
+
+
 EXPERIMENTS = {
     "table1": table1_complexity,
     "figure8": figure8_grid_resolution,
@@ -711,4 +718,5 @@ EXPERIMENTS = {
     "stream-sharded": _sharded_stream_replay,
     "stream-async": _async_stream_replay,
     "stream-disk": _disk_backend_replay,
+    "stream-graph": _graph_merge_replay,
 }

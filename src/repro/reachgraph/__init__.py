@@ -2,27 +2,64 @@
 
 from __future__ import annotations
 
-from .augmentation import AugmentationReport, augment_dag, build_layer
-from .dag import ComponentNode, ContactDag, HyperGraph, LongEdgeLayer
-from .index import ReachGraphBuildReport, ReachGraphIndex, VertexRecord
-from .partition import Partitioning, partition_hypergraph
+from .augmentation import (
+    AugmentationReport,
+    augment_dag,
+    build_layer,
+    next_window_start,
+    window_edges,
+)
+from .dag import (
+    ComponentNode,
+    ContactDag,
+    DagPatch,
+    DagPatchBuilder,
+    HyperGraph,
+    LongEdgeLayer,
+)
+from .index import (
+    GraphFrontier,
+    GraphIncrementReport,
+    ReachGraphBuildReport,
+    ReachGraphIndex,
+    VertexRecord,
+    compute_graph_patch,
+)
+from .partition import Partitioning, extend_partitioning, partition_hypergraph
 from .query import STRATEGIES, ReachGraphQueryProcessor
-from .reduction import ReductionReport, reduce_contact_network
+from .reduction import (
+    ReductionCursor,
+    ReductionFrontier,
+    ReductionReport,
+    reduce_contact_network,
+    snapshot_components,
+)
 
 __all__ = [
     "ComponentNode",
     "ContactDag",
+    "DagPatch",
+    "DagPatchBuilder",
     "HyperGraph",
     "LongEdgeLayer",
     "reduce_contact_network",
+    "snapshot_components",
+    "ReductionCursor",
+    "ReductionFrontier",
     "ReductionReport",
     "augment_dag",
     "build_layer",
+    "next_window_start",
+    "window_edges",
     "AugmentationReport",
     "partition_hypergraph",
+    "extend_partitioning",
     "Partitioning",
     "ReachGraphIndex",
     "ReachGraphBuildReport",
+    "GraphFrontier",
+    "GraphIncrementReport",
+    "compute_graph_patch",
     "VertexRecord",
     "ReachGraphQueryProcessor",
     "STRATEGIES",

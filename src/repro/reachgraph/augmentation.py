@@ -10,17 +10,39 @@ Reachability inside a window is computed with a single forward sweep per
 window that propagates bitmasks of the window-start components along DN_1
 edges (vertices are already in topological/creation order), which is far
 cheaper than one BFS per start component.
+
+The per-window sweep (:func:`window_edges`) operates on plain vertex views —
+``(node_id, start, end)`` triples plus a successor lookup — rather than on a
+:class:`~repro.reachgraph.dag.ContactDag` directly, so the same sweep serves
+the batch build *and* the incremental merge path, which runs it over a
+captured frontier while the live DAG keeps serving queries.  Windows are
+strictly append-processed: a window is swept exactly once, when the horizon
+first reaches its end, and appended ticks can never change an already swept
+window (new vertices always start past the old horizon end, so no DN_1 path
+confined to an old window can reach them).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
+from ..core.types import TimeInstant
 from .dag import ContactDag, HyperGraph, LongEdgeLayer
 
-__all__ = ["AugmentationReport", "augment_dag", "build_layer"]
+__all__ = [
+    "AugmentationReport",
+    "augment_dag",
+    "build_layer",
+    "next_window_start",
+    "window_edges",
+]
+
+#: A vertex as the window sweep sees it: ``(node_id, start, end)``.  Views
+#: must be supplied in ascending node-id order, which by construction is
+#: nondecreasing-start (creation) order.
+NodeView = Tuple[int, TimeInstant, TimeInstant]
 
 
 @dataclass(frozen=True, slots=True)
@@ -38,16 +60,35 @@ class AugmentationReport:
         return sum(self.long_edges_per_resolution.values())
 
 
+def next_window_start(
+    start: TimeInstant, end: TimeInstant, resolution: int
+) -> TimeInstant:
+    """First window start whose window ``[ta, ta + L]`` exceeds ``end``.
+
+    Window starts are aligned to multiples of ``L`` from the horizon start;
+    a window is processed once its end fits inside the horizon.  This is the
+    resumption cursor the incremental path stores per resolution: every
+    window before it has been swept, every window at or after it has not.
+    """
+    if end < start:
+        return start
+    processed = (end - start) // resolution
+    return start + processed * resolution
+
+
 def build_layer(dag: ContactDag, resolution: int) -> LongEdgeLayer:
     """Build the ``DN_L`` long-edge layer for one resolution ``L``."""
     layer = LongEdgeLayer(resolution)
     horizon = dag.horizon
-    start = horizon.start
-    # Window starts are aligned to multiples of L from the horizon start.
-    ta = start
+    views: List[NodeView] = [
+        (node.node_id, node.interval.start, node.interval.end) for node in dag.nodes
+    ]
+    ta = horizon.start
     while ta + resolution <= horizon.end:
-        tb = ta + resolution
-        _add_window_edges(dag, layer, ta, tb)
+        for source_id, target_id in window_edges(
+            views, dag.successors, ta, ta + resolution
+        ):
+            layer.add_edge(source_id, target_id)
         ta += resolution
     return layer
 
@@ -72,53 +113,63 @@ def augment_dag(
     return hypergraph, report
 
 
-# ----------------------------------------------------------------------
-# internals
-# ----------------------------------------------------------------------
-def _add_window_edges(dag: ContactDag, layer: LongEdgeLayer, ta: int, tb: int) -> None:
-    """Add long edges from components active at ``ta`` to those at ``tb``.
+def window_edges(
+    views: Sequence[NodeView],
+    successors_of: Callable[[int], List[int]],
+    ta: TimeInstant,
+    tb: TimeInstant,
+) -> List[Tuple[int, int]]:
+    """Long edges of one window: components at ``ta`` reaching ones at ``tb``.
 
-    A forward sweep over the vertices that intersect ``[ta, tb]`` (in creation
-    = topological order) propagates, for every vertex, the bitmask of window
-    start vertices that can reach it without leaving the window.
+    A forward sweep over the vertices that intersect ``[ta, tb]`` (``views``
+    must be in creation = topological order) propagates, for every vertex, the
+    bitmask of window-start vertices that can reach it without leaving the
+    window.  Returned pairs preserve the sweep's deterministic order; callers
+    deduplicate via :meth:`LongEdgeLayer.add_edge`.
     """
-    start_nodes = [node.node_id for node in dag.nodes if node.active_at(ta)]
+    start_nodes = [node_id for node_id, start, end in views if start <= ta <= end]
     if not start_nodes:
-        return
+        return []
     bit_of = {node_id: 1 << position for position, node_id in enumerate(start_nodes)}
 
     # Reachability masks; a start vertex reaches itself.
     masks: Dict[int, int] = dict(bit_of)
+    starts: Dict[int, TimeInstant] = {node_id: start for node_id, start, _ in views}
 
-    for node in dag.nodes:
-        if node.interval.start > tb:
+    for node_id, start, end in views:
+        if start > tb:
             break
-        if node.interval.end < ta:
+        if end < ta:
             continue
-        mask = masks.get(node.node_id, 0)
+        mask = masks.get(node_id, 0)
         if not mask:
             continue
-        for successor_id in dag.successors(node.node_id):
-            successor = dag.node(successor_id)
-            # The connecting edge happens at successor.interval.start; it must
-            # stay inside the window.
-            if successor.interval.start > tb:
+        for successor_id in successors_of(node_id):
+            # The connecting edge happens at the successor's start; it must
+            # stay inside the window.  A successor beyond the captured views
+            # cannot start inside the window (views cover every vertex whose
+            # interval reaches past ta, and successors start after their
+            # source ends).
+            successor_start = starts.get(successor_id)
+            if successor_start is None or successor_start > tb:
                 continue
             masks[successor_id] = masks.get(successor_id, 0) | mask
 
     index_of = {bit_of[node_id]: node_id for node_id in start_nodes}
-    for node in dag.nodes:
-        if node.interval.start > tb:
+    edges: List[Tuple[int, int]] = []
+    for node_id, start, end in views:
+        if start > tb:
             break
-        if not node.active_at(tb):
+        if not (start <= tb <= end):
             continue
-        mask = masks.get(node.node_id, 0)
+        mask = masks.get(node_id, 0)
         if not mask:
             continue
         remaining = mask
         while remaining:
             lowest_bit = remaining & (-remaining)
             source_id = index_of[lowest_bit]
-            if source_id != node.node_id:
-                layer.add_edge(source_id, node.node_id)
+            if source_id != node_id:
+                edges.append((source_id, node_id))
             remaining ^= lowest_bit
+    return edges

@@ -19,7 +19,14 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 from ..core.errors import IndexConstructionError
 from ..core.types import ObjectId, TimeInstant, TimeInterval
 
-__all__ = ["ComponentNode", "ContactDag", "LongEdgeLayer", "HyperGraph"]
+__all__ = [
+    "ComponentNode",
+    "ContactDag",
+    "DagPatch",
+    "DagPatchBuilder",
+    "LongEdgeLayer",
+    "HyperGraph",
+]
 
 
 @dataclass(slots=True)
@@ -85,6 +92,12 @@ class ContactDag:
         if new_end < node.interval.end:
             raise IndexConstructionError("cannot shrink a component interval")
         node.interval = TimeInterval(node.interval.start, new_end)
+
+    def extend_horizon(self, new_end: TimeInstant) -> None:
+        """Advance the horizon end (streamed ticks were appended at the frontier)."""
+        if new_end < self.horizon.end:
+            raise IndexConstructionError("cannot shrink the DAG horizon")
+        self.horizon = TimeInterval(self.horizon.start, new_end)
 
     def add_edge(self, source_id: int, target_id: int) -> None:
         """Add a DN_1 edge (deduplicated)."""
@@ -160,6 +173,138 @@ class ContactDag:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ContactDag(nodes={self.num_nodes}, edges={self.num_edges})"
+
+
+@dataclass(frozen=True, slots=True)
+class DagPatch:
+    """A pure description of how appended ticks change the reduced DAG.
+
+    Computed off the live structures (a background thread may run it) by
+    :func:`~repro.reachgraph.index.compute_graph_patch` from a captured
+    :class:`~repro.reachgraph.index.GraphFrontier`, and applied atomically by
+    :meth:`~repro.reachgraph.index.ReachGraphIndex.apply_increment`.  All
+    fields are plain picklable data.
+
+    Attributes
+    ----------
+    base_end / base_nodes:
+        The frontier the patch extends: the last reduced tick and the vertex
+        count it was computed against (application validates both).
+    new_end:
+        The last tick covered after application (the merge bound).
+    extensions:
+        ``(node_id, new_end)`` for every pre-existing open vertex whose
+        component persisted into the appended ticks.
+    new_nodes:
+        ``(node_id, start, end, members)`` for vertices created at the
+        frontier, in creation (= topological) order; ids continue the base
+        numbering.
+    new_edges:
+        New DN_1 edges ``(source_id, target_id)``; targets are always new
+        vertices, sources may be old (those become dirty).
+    new_long_edges:
+        ``(resolution, ((source_id, target_id), ...))`` for augmentation
+        windows completed by the appended ticks.
+    window_cursors:
+        ``(resolution, next_window_start)`` after the patch — the resumption
+        point the index stores for the next increment.
+    """
+
+    base_end: TimeInstant
+    base_nodes: int
+    new_end: TimeInstant
+    extensions: Tuple[Tuple[int, TimeInstant], ...]
+    new_nodes: Tuple[Tuple[int, TimeInstant, TimeInstant, Tuple[ObjectId, ...]], ...]
+    new_edges: Tuple[Tuple[int, int], ...]
+    new_long_edges: Tuple[Tuple[int, Tuple[Tuple[int, int], ...]], ...]
+    window_cursors: Tuple[Tuple[int, TimeInstant], ...]
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the patch changes nothing (a zero-tick increment)."""
+        return not (
+            self.extensions
+            or self.new_nodes
+            or self.new_edges
+            or self.new_long_edges
+        )
+
+
+class DagPatchBuilder:
+    """A :class:`~repro.reachgraph.reduction.DagSink` recording ops as a patch.
+
+    Stands in for the :class:`ContactDag` during the pure half of an
+    incremental merge: the :class:`~repro.reachgraph.reduction.ReductionCursor`
+    replays the appended ticks into this recorder, and the collected
+    operations later replay onto the live DAG at adoption time.  Extensions
+    collapse to their final end (extending the same open vertex across many
+    ticks is one operation applied once).
+    """
+
+    def __init__(self, base_nodes: int) -> None:
+        self._base_nodes = base_nodes
+        self._extensions: Dict[int, TimeInstant] = {}
+        self._new_nodes: List[Tuple[int, TimeInstant, TimeInstant, Tuple[ObjectId, ...]]] = []
+        self._new_edges: List[Tuple[int, int]] = []
+        self._next_node_id = base_nodes
+
+    def add_node(self, interval: TimeInterval, members: FrozenSet[ObjectId]) -> int:
+        """Record a vertex creation; returns the id it will receive."""
+        node_id = self._next_node_id
+        self._next_node_id += 1
+        self._new_nodes.append(
+            (node_id, interval.start, interval.end, tuple(sorted(members)))
+        )
+        return node_id
+
+    def extend_node(self, node_id: int, new_end: TimeInstant) -> None:
+        """Record an interval extension (folded to the final end per vertex)."""
+        if node_id >= self._base_nodes:
+            # A vertex created inside this very patch: fold the extension
+            # into its recorded interval instead of emitting an operation.
+            index = node_id - self._base_nodes
+            recorded_id, start, _, members = self._new_nodes[index]
+            self._new_nodes[index] = (recorded_id, start, new_end, members)
+        else:
+            self._extensions[node_id] = new_end
+
+    def add_edge(self, source_id: int, target_id: int) -> None:
+        """Record a DN_1 edge (the cursor never emits duplicates)."""
+        self._new_edges.append((source_id, target_id))
+
+    @property
+    def new_node_views(self) -> List[Tuple[int, TimeInstant, TimeInstant]]:
+        """``(node_id, start, end)`` views of the recorded vertices."""
+        return [(node_id, start, end) for node_id, start, end, _ in self._new_nodes]
+
+    @property
+    def extensions(self) -> Dict[int, TimeInstant]:
+        """Final extension end per pre-existing vertex."""
+        return dict(self._extensions)
+
+    @property
+    def new_edges(self) -> List[Tuple[int, int]]:
+        """The recorded DN_1 edges, in creation order."""
+        return list(self._new_edges)
+
+    def build(
+        self,
+        base_end: TimeInstant,
+        new_end: TimeInstant,
+        new_long_edges: Tuple[Tuple[int, Tuple[Tuple[int, int], ...]], ...],
+        window_cursors: Tuple[Tuple[int, TimeInstant], ...],
+    ) -> DagPatch:
+        """Freeze everything recorded (plus the augmentation half) as a patch."""
+        return DagPatch(
+            base_end=base_end,
+            base_nodes=self._base_nodes,
+            new_end=new_end,
+            extensions=tuple(sorted(self._extensions.items())),
+            new_nodes=tuple(self._new_nodes),
+            new_edges=tuple(self._new_edges),
+            new_long_edges=new_long_edges,
+            window_cursors=window_cursors,
+        )
 
 
 @dataclass(slots=True)

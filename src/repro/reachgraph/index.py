@@ -1,4 +1,4 @@
-"""ReachGraph index construction and disk placement.
+"""ReachGraph index construction, disk placement, and incremental maintenance.
 
 Putting the pieces together (Sections 5.1.1–5.1.3):
 
@@ -15,27 +15,60 @@ Putting the pieces together (Sections 5.1.1–5.1.3):
 The per-vertex disk record also stores the reverse DN_1 adjacency so that the
 backward half of the bidirectional traversal never needs a second structure
 (the paper stores the reverse graph alongside ``HN``).
+
+Beyond the one-shot build, the index is *maintainable*: the streaming merge
+path appends contacts at the frontier instead of rebuilding.
+:meth:`ReachGraphIndex.frontier` captures the resumable state on the live
+thread, :func:`compute_graph_patch` replays the appended ticks through the
+same reduction/augmentation code the batch build uses — purely, so a
+background thread may run it — and :meth:`ReachGraphIndex.apply_increment`
+applies the patch: open component vertices are extended or split, successor
+edges and newly complete augmentation windows are added, fresh vertices are
+partitioned, and only *dirty* partitions (those holding a changed record) are
+rewritten on disk, with :attr:`~ReachGraphIndex.records_written` /
+:attr:`~ReachGraphIndex.superseded_blocks` as the write-amplification ledger.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.config import ContactConfig, ReachGraphConfig, StorageConfig
 from ..core.errors import IndexConstructionError, IndexNotBuiltError, UnknownObjectError
 from ..core.types import ObjectId, TimeInstant, TimeInterval
 from ..contacts.join import build_contact_network
-from ..contacts.network import ContactNetwork
+from ..contacts.network import Contact, ContactNetwork
 from ..storage import StorageSystem
 from ..trajectory.model import TrajectoryDataset
-from .augmentation import AugmentationReport, augment_dag
-from .dag import ContactDag, HyperGraph
-from .partition import Partitioning, partition_hypergraph
-from .reduction import ReductionReport, reduce_contact_network
+from .augmentation import (
+    AugmentationReport,
+    NodeView,
+    augment_dag,
+    next_window_start,
+    window_edges,
+)
+from .dag import ContactDag, DagPatch, DagPatchBuilder, HyperGraph
+from .partition import Partitioning, extend_partitioning, partition_hypergraph
+from .reduction import (
+    ReductionCursor,
+    ReductionFrontier,
+    ReductionReport,
+    reduce_contact_network,
+)
 
-__all__ = ["VertexRecord", "ReachGraphBuildReport", "ReachGraphIndex"]
+__all__ = [
+    "GraphFrontier",
+    "GraphIncrementReport",
+    "ReachGraphBuildReport",
+    "ReachGraphIndex",
+    "VertexRecord",
+    "compute_graph_patch",
+]
+
+#: Per-object assignment history stored in the object index: ``(start, node)``.
+AssignmentSegments = Tuple[Tuple[TimeInstant, int], ...]
 
 
 @dataclass(frozen=True, slots=True)
@@ -75,6 +108,118 @@ class ReachGraphBuildReport:
     write_ios: int
 
 
+@dataclass(frozen=True, slots=True)
+class GraphFrontier:
+    """Everything a pure patch computation needs from the live index.
+
+    Captured synchronously by :meth:`ReachGraphIndex.frontier` (cheap: the
+    reduction state plus the vertices recent enough to matter to unprocessed
+    augmentation windows), after which :func:`compute_graph_patch` may run in
+    a background thread without touching the index.  ``recent_nodes`` carries
+    every vertex whose interval reaches the earliest unprocessed window start
+    — successors of such vertices always start later, so the set is closed
+    under the window sweep.
+    """
+
+    reduction: ReductionFrontier
+    window_cursors: Tuple[Tuple[int, TimeInstant], ...]
+    recent_nodes: Tuple[NodeView, ...]
+    recent_edges: Tuple[Tuple[int, Tuple[int, ...]], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class GraphIncrementReport:
+    """What one :meth:`ReachGraphIndex.apply_increment` actually did."""
+
+    new_nodes: int
+    extended_nodes: int
+    new_edges: int
+    new_long_edges: int
+    new_partitions: int
+    rewritten_partitions: int
+    records_written: int
+    apply_seconds: float
+
+
+def compute_graph_patch(
+    frontier: GraphFrontier,
+    contacts: Sequence[Contact],
+    through: TimeInstant,
+) -> DagPatch:
+    """Replay appended ticks over a captured frontier into a :class:`DagPatch`.
+
+    Pure function of its arguments: ``contacts`` must cover exactly the
+    contact instants of the appended ticks ``(frontier.end, through]`` (the
+    streaming merge's freshly frozen slice), and the result describes every
+    reduction and augmentation change those ticks cause.  Runs the *same*
+    per-tick :class:`~repro.reachgraph.reduction.ReductionCursor` and
+    per-window sweep the batch build runs — recorded instead of applied.
+    """
+    reduction = frontier.reduction
+    if through < reduction.end:
+        raise IndexConstructionError(
+            f"cannot patch backwards: frontier at {reduction.end}, "
+            f"increment through {through}"
+        )
+
+    # Per-tick snapshot adjacency of the appended ticks, from the frozen slice.
+    adjacency_at: Dict[TimeInstant, Dict[ObjectId, Set[ObjectId]]] = {}
+    for contact in contacts:
+        lo = max(contact.validity.start, reduction.end + 1)
+        hi = min(contact.validity.end, through)
+        for t in range(lo, hi + 1):
+            adjacency = adjacency_at.setdefault(t, {})
+            adjacency.setdefault(contact.first, set()).add(contact.second)
+            adjacency.setdefault(contact.second, set()).add(contact.first)
+
+    builder = DagPatchBuilder(reduction.num_nodes)
+    cursor = ReductionCursor.resume(reduction, builder)
+    for t in range(reduction.end + 1, through + 1):
+        cursor.advance(t, adjacency_at.get(t, {}))
+
+    # Merge the captured recent vertices (with their patched ends) and the
+    # fresh ones into the id-ordered views the window sweep expects.
+    extensions = builder.extensions
+    views: List[NodeView] = [
+        (node_id, start, extensions.get(node_id, end))
+        for node_id, start, end in frontier.recent_nodes
+    ]
+    views.extend(builder.new_node_views)
+    views.sort()
+    successors: Dict[int, List[int]] = {
+        node_id: list(targets) for node_id, targets in frontier.recent_edges
+    }
+    for source_id, target_id in builder.new_edges:
+        successors.setdefault(source_id, []).append(target_id)
+
+    new_long_edges: List[Tuple[int, Tuple[Tuple[int, int], ...]]] = []
+    cursors: List[Tuple[int, TimeInstant]] = []
+    for resolution, ta in frontier.window_cursors:
+        edges: List[Tuple[int, int]] = []
+        seen: Set[Tuple[int, int]] = set()
+        while ta + resolution <= through:
+            for edge in window_edges(
+                views, lambda node_id: successors.get(node_id, []), ta, ta + resolution
+            ):
+                # Within one patch the layer's deduplication is not in the
+                # loop yet; drop repeats here so the patch stays minimal
+                # (application deduplicates against the live layer anyway).
+                if edge not in seen:
+                    seen.add(edge)
+                    edges.append(edge)
+            ta += resolution
+        if edges:
+            new_long_edges.append((resolution, tuple(edges)))
+        cursors.append((resolution, ta))
+
+    return builder.build(
+        base_end=reduction.end,
+        new_end=max(through, reduction.end),
+        new_long_edges=tuple(new_long_edges),
+        window_cursors=tuple(cursors),
+    )
+
+
 class ReachGraphIndex:
     """The ReachGraph multi-resolution index over a trajectory dataset."""
 
@@ -103,6 +248,11 @@ class ReachGraphIndex:
         self.build_report: Optional[ReachGraphBuildReport] = None
         self._partition_of_vertex: Dict[int, int] = {}
 
+        # Incremental-maintenance state and the write-amplification ledger.
+        self._window_cursors: Dict[int, TimeInstant] = {}
+        self._records_written = 0
+        self._increments = 0
+
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
@@ -112,17 +262,28 @@ class ReachGraphIndex:
             raise IndexConstructionError("ReachGraph index already built")
         started = time.perf_counter()
 
-        self.network = self._provided_network or build_contact_network(
+        network = self._provided_network or build_contact_network(
             self.dataset, self.contact_config.distance_threshold
         )
-        self.dag, reduction_report = reduce_contact_network(self.network)
-        self.hypergraph, augmentation_report = augment_dag(
-            self.dag, self.config.sorted_resolutions
+        self.network = network
+        dag, reduction_report = reduce_contact_network(network)
+        self.dag = dag
+        hypergraph, augmentation_report = augment_dag(
+            dag, self.config.sorted_resolutions
         )
-        self.partitioning = partition_hypergraph(
-            self.hypergraph, self.config.partition_depth
-        )
-        self._partition_of_vertex = dict(self.partitioning.partition_of)
+        self.hypergraph = hypergraph
+        partitioning = partition_hypergraph(hypergraph, self.config.partition_depth)
+        self.partitioning = partitioning
+        # Shared deliberately, not copied: extend_partitioning assigns fresh
+        # vertices into this same dict, so partition_of() lookups can never
+        # drift from the partition extents an increment writes.
+        self._partition_of_vertex = partitioning.partition_of
+        self._window_cursors = {
+            resolution: next_window_start(
+                dag.horizon.start, dag.horizon.end, resolution
+            )
+            for resolution in self.config.sorted_resolutions
+        }
 
         self._write_partitions()
         self._build_object_index()
@@ -130,7 +291,7 @@ class ReachGraphIndex:
         self.build_report = ReachGraphBuildReport(
             reduction=reduction_report,
             augmentation=augmentation_report,
-            num_partitions=self.partitioning.num_partitions,
+            num_partitions=partitioning.num_partitions,
             num_blocks=self._partitions_file.num_blocks,
             build_seconds=time.perf_counter() - started,
             write_ios=self.storage.stats.writes,
@@ -145,6 +306,7 @@ class ReachGraphIndex:
         for partition_id, member_ids in enumerate(self.partitioning.members):
             records = [self._make_record(dag, node_id) for node_id in member_ids]
             self._partitions_file.append_extent(partition_id, records)
+            self._records_written += len(records)
 
     def _make_record(self, dag: ContactDag, node_id: int) -> VertexRecord:
         assert self.hypergraph is not None
@@ -167,7 +329,7 @@ class ReachGraphIndex:
     def _build_object_index(self) -> None:
         """Build the external hash table: object → (start, vertex) assignment history."""
         assert self.dag is not None
-        entries = []
+        entries: List[Tuple[ObjectId, AssignmentSegments]] = []
         for object_id in self.dataset.object_ids:
             segments = tuple(self.dag.assignment_segments(object_id))
             if not segments:
@@ -176,6 +338,198 @@ class ReachGraphIndex:
                 )
             entries.append((object_id, segments))
         self._object_index.build(entries)
+
+    # ------------------------------------------------------------------
+    # incremental maintenance
+    # ------------------------------------------------------------------
+    def frontier(self) -> GraphFrontier:
+        """Capture the resumable maintenance state (cheap, live thread only).
+
+        The result is immutable and self-contained:
+        :func:`compute_graph_patch` over it may run off-thread while this
+        index keeps answering queries, as long as no other increment is
+        applied in between (application validates the base and refuses a
+        stale patch).
+        """
+        self._require_built()
+        assert self.dag is not None
+        dag = self.dag
+        horizon = dag.horizon
+
+        assignments: List[Tuple[ObjectId, int]] = []
+        open_ids: List[int] = []
+        open_seen: Set[int] = set()
+        for object_id in self.dataset.object_ids:
+            node_id = dag.node_of(object_id, horizon.end)
+            assignments.append((object_id, node_id))
+            if node_id not in open_seen:
+                open_seen.add(node_id)
+                open_ids.append(node_id)
+        open_members = tuple(
+            (node_id, tuple(sorted(dag.node(node_id).members)))
+            for node_id in sorted(open_ids)
+        )
+        reduction = ReductionFrontier(
+            start=horizon.start,
+            end=horizon.end,
+            num_nodes=dag.num_nodes,
+            object_ids=tuple(self.dataset.object_ids),
+            assignments=tuple(assignments),
+            open_members=open_members,
+        )
+
+        # Vertices recent enough to matter to any unprocessed window: their
+        # interval reaches the earliest per-resolution cursor.  Successors of
+        # such vertices start strictly later, so the captured adjacency is
+        # closed under the window sweep.
+        floor: TimeInstant = (
+            min(self._window_cursors.values())
+            if self._window_cursors
+            else horizon.end + 1
+        )
+        recent_nodes = tuple(
+            (node.node_id, node.interval.start, node.interval.end)
+            for node in dag.nodes
+            if node.interval.end >= floor
+        )
+        recent_edges = tuple(
+            (node_id, tuple(dag.successors(node_id)))
+            for node_id, _, _ in recent_nodes
+            if dag.successors(node_id)
+        )
+        return GraphFrontier(
+            reduction=reduction,
+            window_cursors=tuple(sorted(self._window_cursors.items())),
+            recent_nodes=recent_nodes,
+            recent_edges=recent_edges,
+        )
+
+    def apply_increment(
+        self,
+        patch: DagPatch,
+        dataset: TrajectoryDataset,
+        contact_network: Optional[ContactNetwork] = None,
+    ) -> GraphIncrementReport:
+        """Apply a :class:`DagPatch`, rewriting only what the patch dirtied.
+
+        The in-place counterpart of a full rebuild: the DAG and hyper graph
+        are patched, fresh vertices are partitioned and written as new
+        extents, partitions holding a changed record (an extended interval, a
+        new successor or long edge) are rewritten — superseding their old
+        extents on the append-only device — and the object index buckets of
+        reassigned objects are updated.  Everything runs on the caller's
+        thread against live structures; streaming services call it from their
+        atomic adoption step, where no concurrent reader can observe a
+        half-applied state.
+
+        ``dataset`` is the extended prefix the index now covers (its horizon
+        must end at ``patch.new_end``); ``contact_network`` optionally
+        replaces the stored network alongside.
+        """
+        self._require_built()
+        assert self.dag is not None and self.hypergraph is not None
+        assert self.partitioning is not None
+        dag = self.dag
+        started = time.perf_counter()
+
+        if dag.num_nodes != patch.base_nodes or dag.horizon.end != patch.base_end:
+            raise IndexConstructionError(
+                f"stale patch: built against {patch.base_nodes} vertices "
+                f"through t={patch.base_end}, index has {dag.num_nodes} "
+                f"through t={dag.horizon.end}"
+            )
+        if dataset.horizon.end != patch.new_end:
+            raise IndexConstructionError(
+                f"dataset horizon ends at {dataset.horizon.end}, "
+                f"patch extends through {patch.new_end}"
+            )
+
+        dirty: Set[int] = set()
+
+        # 1. Reduction operations: extensions, fresh vertices, DN_1 edges.
+        for node_id, new_end in patch.extensions:
+            dag.extend_node(node_id, new_end)
+            dirty.add(node_id)
+        for node_id, start, end, members in patch.new_nodes:
+            node = dag.add_node(TimeInterval(start, end), frozenset(members))
+            if node.node_id != node_id:
+                raise IndexConstructionError(
+                    f"patch vertex {node_id} materialized as {node.node_id}"
+                )
+        for source_id, target_id in patch.new_edges:
+            dag.add_edge(source_id, target_id)
+            if source_id < patch.base_nodes:
+                dirty.add(source_id)
+        dag.extend_horizon(patch.new_end)
+
+        # 2. Augmentation: long edges of the newly completed windows.
+        new_long_edges = 0
+        for resolution, edges in patch.new_long_edges:
+            layer = self.hypergraph.layer(resolution)
+            for source_id, target_id in edges:
+                layer.add_edge(source_id, target_id)
+                new_long_edges += 1
+                if source_id < patch.base_nodes:
+                    dirty.add(source_id)
+        self._window_cursors.update(dict(patch.window_cursors))
+
+        # 3. Fresh vertices join fresh partitions (old extents are immutable
+        #    in shape); write each new partition as one contiguous extent.
+        new_node_ids = [node_id for node_id, _, _, _ in patch.new_nodes]
+        new_partition_ids = extend_partitioning(
+            self.partitioning, dag, new_node_ids, self.config.partition_depth
+        )
+        records_written = 0
+        for partition_id in new_partition_ids:
+            member_ids = self.partitioning.members[partition_id]
+            records = [self._make_record(dag, node_id) for node_id in member_ids]
+            self._partitions_file.append_extent(partition_id, records)
+            records_written += len(records)
+
+        # 4. Rewrite the partitions holding a record the patch changed.
+        dirty_partitions = sorted(
+            {self._partition_of_vertex[node_id] for node_id in dirty}
+        )
+        for partition_id in dirty_partitions:
+            records = [
+                self._make_record(dag, node_id)
+                for node_id in self.partitioning.members[partition_id]
+            ]
+            self._partitions_file.replace_extent(partition_id, records)
+            records_written += len(records)
+
+        # 5. Patch the object index: objects assigned to fresh vertices gain
+        #    assignment segments (extensions never change a segment start).
+        appended: Dict[ObjectId, List[Tuple[TimeInstant, int]]] = {}
+        for node_id, start, _, members in patch.new_nodes:
+            for member in members:
+                appended.setdefault(member, []).append((start, node_id))
+        for object_id, segments in appended.items():
+            existing = self._object_index.get(object_id)
+            if existing is None:
+                raise IndexConstructionError(
+                    f"object {object_id} joined the stream mid-prefix; the "
+                    "object index has no assignment history for it"
+                )
+            self._object_index.update(
+                object_id, tuple(existing) + tuple(segments)
+            )
+
+        self.dataset = dataset
+        if contact_network is not None:
+            self.network = contact_network
+        self._records_written += records_written
+        self._increments += 1
+        return GraphIncrementReport(
+            new_nodes=len(patch.new_nodes),
+            extended_nodes=len(patch.extensions),
+            new_edges=len(patch.new_edges),
+            new_long_edges=new_long_edges,
+            new_partitions=len(new_partition_ids),
+            rewritten_partitions=len(dirty_partitions),
+            records_written=records_written,
+            apply_seconds=time.perf_counter() - started,
+        )
 
     # ------------------------------------------------------------------
     # state checks
@@ -195,12 +549,12 @@ class ReachGraphIndex:
     def find_vertex_id(self, object_id: ObjectId, t: TimeInstant) -> int:
         """Vertex containing ``object_id`` at time ``t`` (one hash-bucket read)."""
         self._require_built()
-        segments = self._object_index.get(object_id)
+        segments: Optional[AssignmentSegments] = self._object_index.get(object_id)
         if segments is None:
             raise UnknownObjectError(object_id)
         # Binary search the (start_time, node_id) assignment history.
         lo, hi = 0, len(segments) - 1
-        answer = None
+        answer: Optional[int] = None
         while lo <= hi:
             mid = (lo + hi) // 2
             if segments[mid][0] <= t:
@@ -222,7 +576,7 @@ class ReachGraphIndex:
     def read_partition(self, partition_id: int) -> List[VertexRecord]:
         """Read every vertex record of one partition from disk (charged IO)."""
         self._require_built()
-        return self._partitions_file.read_extent(partition_id)
+        return list(self._partitions_file.read_extent(partition_id))
 
     # ------------------------------------------------------------------
     # introspection
@@ -243,9 +597,24 @@ class ReachGraphIndex:
 
     @property
     def num_blocks(self) -> int:
-        """Number of disk blocks occupied by the partitions."""
+        """Number of disk blocks occupied by the live partition extents."""
         self._require_built()
         return self._partitions_file.num_blocks
+
+    @property
+    def records_written(self) -> int:
+        """Vertex records ever written (build + increment rewrites): the ledger."""
+        return self._records_written
+
+    @property
+    def superseded_blocks(self) -> int:
+        """Blocks of partition extents superseded by increment rewrites."""
+        return self._partitions_file.superseded_blocks
+
+    @property
+    def num_increments(self) -> int:
+        """Increments applied since the build."""
+        return self._increments
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         status = "built" if self._built else "not built"

@@ -12,11 +12,12 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Sequence
 
+from ..core.errors import IndexConstructionError
 from .dag import ContactDag, HyperGraph
 
-__all__ = ["Partitioning", "partition_hypergraph"]
+__all__ = ["Partitioning", "extend_partitioning", "partition_hypergraph"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -70,6 +71,43 @@ def partition_hypergraph(graph: HyperGraph, depth: int) -> Partitioning:
         members.append(collected)
 
     return Partitioning(partition_of=partition_of, members=members, depth=depth)
+
+
+def extend_partitioning(
+    partitioning: Partitioning,
+    dag: ContactDag,
+    new_node_ids: Sequence[int],
+    depth: int,
+) -> List[int]:
+    """Assign freshly appended vertices to partitions, in place.
+
+    The paper's partitioning loop, resumed: every *unassigned* vertex visited
+    in topological (= id) order roots a new partition collecting the
+    unassigned vertices within DN_1 distance ``depth`` of it.  Vertices
+    already assigned stay exactly where they are — their extents on disk are
+    immutable except for record rewrites — so only new vertices join (new)
+    partitions.  Returns the ids of the partitions created, in creation
+    order; ``partitioning.partition_of`` and ``partitioning.members`` are
+    updated in place.
+    """
+    if depth != partitioning.depth:
+        raise IndexConstructionError(
+            f"cannot extend a depth-{partitioning.depth} partitioning "
+            f"with depth {depth}"
+        )
+    created: List[int] = []
+    for root_id in sorted(new_node_ids):
+        if root_id in partitioning.partition_of:
+            continue
+        partition_id = len(partitioning.members)
+        collected = _collect_unassigned_within_depth(
+            dag, root_id, depth, partitioning.partition_of
+        )
+        for node_id in collected:
+            partitioning.partition_of[node_id] = partition_id
+        partitioning.members.append(collected)
+        created.append(partition_id)
+    return created
 
 
 def _collect_unassigned_within_depth(

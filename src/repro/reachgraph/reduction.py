@@ -14,22 +14,36 @@ Section 5.1.2.1 performs two lossless reduction steps:
    the persisted vertex is the aggregated edge and its weight is the interval
    length.
 
-Both steps are folded into a single forward pass over the snapshots: a
-component that is exactly equal to a currently-open vertex extends it,
-anything else closes/creates vertices and adds the connecting edges.
+Both steps are one forward pass over the snapshots, and that pass is
+factored as a *resumable* :class:`ReductionCursor`: each
+:meth:`~ReductionCursor.advance` consumes one snapshot's adjacency and emits
+incremental operations (extend an open vertex, create a vertex, connect it)
+into a :class:`DagSink`.  Batch reduction (:func:`reduce_contact_network`)
+simply replays the whole horizon through a cursor writing straight into a
+:class:`~repro.reachgraph.dag.ContactDag`; the streaming merge path resumes a
+cursor from a captured :class:`ReductionFrontier` and records the same
+operations into a patch instead — one code path, two write targets.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Optional, Protocol, Sequence, Set, Tuple
 
-from ..core.types import ObjectId, TimeInterval
+from ..core.errors import IndexConstructionError
+from ..core.types import ObjectId, TimeInstant, TimeInterval
 from ..contacts.network import ContactNetwork
 from .dag import ContactDag
 
-__all__ = ["ReductionReport", "reduce_contact_network"]
+__all__ = [
+    "DagSink",
+    "ReductionCursor",
+    "ReductionFrontier",
+    "ReductionReport",
+    "reduce_contact_network",
+    "snapshot_components",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -57,11 +71,158 @@ class ReductionReport:
         return 1.0 - self.dag_edges / self.ten_edges
 
 
+class DagSink(Protocol):
+    """Where a :class:`ReductionCursor` writes its incremental operations.
+
+    :class:`~repro.reachgraph.dag.ContactDag` satisfies this structurally (the
+    batch build); the streaming merge path records the operations into a
+    :class:`~repro.reachgraph.dag.DagPatch` builder instead.  Node ids are
+    implicit: the cursor numbers vertices in creation order, and every sink
+    must assign the same sequence (``ContactDag`` does — it numbers by
+    ``len(nodes)``).
+    """
+
+    def add_node(self, interval: TimeInterval, members: FrozenSet[ObjectId]) -> object:
+        """Create the next vertex (id = number of vertices created so far)."""
+        ...
+
+    def extend_node(self, node_id: int, new_end: TimeInstant) -> None:
+        """Extend the persistence interval of an open vertex."""
+        ...
+
+    def add_edge(self, source_id: int, target_id: int) -> None:
+        """Add a DN_1 edge (deduplicated by the sink)."""
+        ...
+
+
+@dataclass(frozen=True, slots=True)
+class ReductionFrontier:
+    """The resumable state of a reduction, frozen at tick ``end``.
+
+    Everything :meth:`ReductionCursor.resume` needs to continue the one-pass
+    reduction past ``end`` without re-reading the DAG it came from: the
+    per-object vertex assignments at ``end`` and the member sets of the still
+    open vertices (the only vertices the temporal-merge test can extend).
+    Captured by :meth:`ReachGraphIndex.frontier
+    <repro.reachgraph.index.ReachGraphIndex.frontier>` on the live thread and
+    handed to the pure patch computation, which may then run off-thread.
+    """
+
+    start: TimeInstant
+    end: TimeInstant
+    num_nodes: int
+    object_ids: Tuple[ObjectId, ...]
+    assignments: Tuple[Tuple[ObjectId, int], ...]
+    open_members: Tuple[Tuple[int, Tuple[ObjectId, ...]], ...]
+
+
+class ReductionCursor:
+    """The paper's one-pass reduction, reformulated as resumable per-tick ops.
+
+    ``advance(t, adjacency)`` consumes the snapshot graph ``G_t`` and emits
+    the reduction's incremental operations into the sink: a component equal to
+    a currently open vertex extends it; anything else creates a vertex and
+    connects it to the previous vertices of its members.  The cursor owns all
+    cross-tick state (assignments, open member sets), so it never reads the
+    sink back — which is what lets the same code path drive both the batch
+    build (sink = the DAG) and the pure streaming patch (sink = a recorder).
+    """
+
+    def __init__(
+        self,
+        object_ids: Sequence[ObjectId],
+        sink: DagSink,
+        next_node_id: int = 0,
+        next_tick: Optional[TimeInstant] = None,
+        assignments: Optional[Mapping[ObjectId, int]] = None,
+        open_members: Optional[Mapping[int, FrozenSet[ObjectId]]] = None,
+    ) -> None:
+        self._object_ids: Tuple[ObjectId, ...] = tuple(object_ids)
+        self._sink = sink
+        self._next_node_id = next_node_id
+        self._next_tick = next_tick
+        self._assignments: Dict[ObjectId, int] = dict(assignments or {})
+        self._open_members: Dict[int, FrozenSet[ObjectId]] = dict(open_members or {})
+
+    @classmethod
+    def resume(cls, frontier: ReductionFrontier, sink: DagSink) -> "ReductionCursor":
+        """A cursor continuing a frozen reduction at ``frontier.end + 1``."""
+        return cls(
+            frontier.object_ids,
+            sink,
+            next_node_id=frontier.num_nodes,
+            next_tick=frontier.end + 1,
+            assignments=dict(frontier.assignments),
+            open_members={
+                node_id: frozenset(members)
+                for node_id, members in frontier.open_members
+            },
+        )
+
+    @property
+    def next_node_id(self) -> int:
+        """Id the next created vertex will receive."""
+        return self._next_node_id
+
+    def advance(self, t: TimeInstant, adjacency: Mapping[ObjectId, Set[ObjectId]]) -> None:
+        """Consume snapshot ``G_t`` (its contact adjacency), emit the ops."""
+        if self._next_tick is not None and t != self._next_tick:
+            raise IndexConstructionError(
+                f"reduction cursor expected tick {self._next_tick}, got {t}"
+            )
+        current: Dict[ObjectId, int] = {}
+        current_open: Dict[int, FrozenSet[ObjectId]] = {}
+        for members in snapshot_components(self._object_ids, adjacency):
+            node_id = self._match_open_vertex(members)
+            if node_id is not None:
+                # The same component persisted from t-1: extend its interval.
+                self._sink.extend_node(node_id, t)
+            else:
+                node_id = self._next_node_id
+                self._next_node_id += 1
+                self._sink.add_node(TimeInterval(t, t), members)
+                # Edges from the previous vertices of every member (the TEN
+                # holding edges collapse to component-to-component edges).
+                sources: Set[int] = set()
+                for member in members:
+                    prev = self._assignments.get(member)
+                    if prev is not None and prev != node_id:
+                        sources.add(prev)
+                for source in sources:
+                    self._sink.add_edge(source, node_id)
+            current_open[node_id] = members
+            for member in members:
+                current[member] = node_id
+        self._assignments = current
+        self._open_members = current_open
+        self._next_tick = t + 1
+
+    def _match_open_vertex(self, members: FrozenSet[ObjectId]) -> Optional[int]:
+        """The id of an open vertex identical to ``members``, or ``None``.
+
+        A vertex can be extended only when it is still open (it survived the
+        previous tick) and has exactly the same member set; any member serves
+        as the probe because an identical match implies every member carried
+        the same assignment.
+        """
+        candidate = self._assignments.get(next(iter(members)))
+        if candidate is None:
+            return None
+        if self._open_members.get(candidate) != members:
+            return None
+        return candidate
+
+
 def reduce_contact_network(
     network: ContactNetwork,
     window: Optional[TimeInterval] = None,
 ) -> Tuple[ContactDag, ReductionReport]:
     """Build the reduced DAG ``DN`` of a contact network.
+
+    Replays every snapshot of the (windowed) horizon through a
+    :class:`ReductionCursor` writing directly into a fresh
+    :class:`~repro.reachgraph.dag.ContactDag` — the same per-tick operations
+    the streaming merge path applies incrementally.
 
     Parameters
     ----------
@@ -84,34 +245,9 @@ def reduce_contact_network(
         raise ValueError("reduction window does not overlap the network horizon")
 
     dag = ContactDag(horizon, network.dataset.num_objects)
-
-    # For each object, the id of the vertex it belonged to at the previous
-    # tick; used both for the temporal merge test and for edge creation.
-    previous_assignment: Dict[ObjectId, int] = {}
-
+    cursor = ReductionCursor(network.object_ids, dag)
     for t in horizon.instants():
-        components = _snapshot_components(network, t)
-        current_assignment: Dict[ObjectId, int] = {}
-        for members in components:
-            node_id = _match_open_vertex(dag, previous_assignment, members, t)
-            if node_id is not None:
-                # The same component persisted from t-1: extend its interval.
-                dag.extend_node(node_id, t)
-            else:
-                node = dag.add_node(TimeInterval(t, t), members)
-                node_id = node.node_id
-                # Edges from the previous vertices of every member (the TEN
-                # holding edges collapse to component-to-component edges).
-                sources: Set[int] = set()
-                for member in members:
-                    prev = previous_assignment.get(member)
-                    if prev is not None and prev != node_id:
-                        sources.add(prev)
-                for source in sources:
-                    dag.add_edge(source, node_id)
-            for member in members:
-                current_assignment[member] = node_id
-        previous_assignment = current_assignment
+        cursor.advance(t, network.snapshot_adjacency(t))
 
     ten_vertices = network.dataset.num_objects * horizon.length
     ten_edges = network.dataset.num_objects * (horizon.length - 1) + sum(
@@ -137,15 +273,19 @@ def reduce_contact_network(
     return dag, report
 
 
-# ----------------------------------------------------------------------
-# internals
-# ----------------------------------------------------------------------
-def _snapshot_components(network: ContactNetwork, t: int) -> List[FrozenSet[ObjectId]]:
-    """Connected components of snapshot ``G_t`` (singletons included)."""
-    adjacency = network.snapshot_adjacency(t)
+def snapshot_components(
+    object_ids: Sequence[ObjectId],
+    adjacency: Mapping[ObjectId, Set[ObjectId]],
+) -> List[FrozenSet[ObjectId]]:
+    """Connected components of one snapshot graph (singletons included).
+
+    Components are enumerated in first-member order over ``object_ids``, which
+    is what makes vertex numbering deterministic across the batch build and
+    the incremental replay of the same snapshots.
+    """
     components: List[FrozenSet[ObjectId]] = []
     seen: Set[ObjectId] = set()
-    for object_id in network.object_ids:
+    for object_id in object_ids:
         if object_id in seen:
             continue
         if object_id not in adjacency:
@@ -157,33 +297,10 @@ def _snapshot_components(network: ContactNetwork, t: int) -> List[FrozenSet[Obje
         seen.add(object_id)
         while frontier:
             current = frontier.pop()
-            for neighbour in adjacency.get(current, ()):
+            for neighbour in adjacency.get(current, set()):
                 if neighbour not in members:
                     members.add(neighbour)
                     seen.add(neighbour)
                     frontier.append(neighbour)
         components.append(frozenset(members))
     return components
-
-
-def _match_open_vertex(
-    dag: ContactDag,
-    previous_assignment: Dict[ObjectId, int],
-    members: FrozenSet[ObjectId],
-    t: int,
-) -> Optional[int]:
-    """Return the id of an open vertex identical to ``members`` at ``t-1``.
-
-    A vertex can be extended only when *all* its members were assigned to it
-    at the previous tick, it has exactly the same member set, and it is still
-    open (its interval ends at ``t-1``).
-    """
-    candidate = previous_assignment.get(next(iter(members)))
-    if candidate is None:
-        return None
-    node = dag.node(candidate)
-    if node.members != members:
-        return None
-    if node.interval.end != t - 1:
-        return None
-    return candidate

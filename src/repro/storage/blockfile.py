@@ -69,6 +69,7 @@ class BlockFile:
         self._records_per_block = records_per_block
         self._extents: Dict[Any, Extent] = {}
         self._order: List[Any] = []
+        self._superseded_blocks = 0
         self.name = name
 
     # ------------------------------------------------------------------
@@ -97,6 +98,33 @@ class BlockFile:
         )
         self._extents[key] = extent
         self._order.append(key)
+        return extent
+
+    def replace_extent(self, key: Any, records: Sequence[Any]) -> Extent:
+        """Supersede extent ``key`` with a fresh copy holding ``records``.
+
+        The device is append-only, so the new blocks land at the tail and the
+        directory is repointed; the old blocks stay on the device as garbage
+        (counted by :attr:`superseded_blocks` — the visible baseline for
+        space-reclamation work).  The extent keeps its position in the
+        write-order directory, so readers iterating :meth:`extent_keys`
+        observe an unchanged key sequence.
+        """
+        old = self._extents.pop(key, None)
+        if old is None:
+            raise StorageError(f"cannot replace unknown extent {key!r} in {self.name}")
+        position = self._order.index(key)
+        del self._order[position]
+        try:
+            extent = self.append_extent(key, records)
+        except BaseException:
+            # Restore the directory so a failed rewrite never loses the
+            # still-intact old extent.
+            self._extents[key] = old
+            self._order.insert(position, key)
+            raise
+        self._order.insert(position, self._order.pop())
+        self._superseded_blocks += old.num_blocks
         return extent
 
     def adopt_extents(self, extents: Sequence[Extent]) -> None:
@@ -176,6 +204,11 @@ class BlockFile:
     def num_blocks(self) -> int:
         """Total number of blocks occupied by this file."""
         return sum(extent.num_blocks for extent in self._extents.values())
+
+    @property
+    def superseded_blocks(self) -> int:
+        """Blocks orphaned by :meth:`replace_extent` (on-device garbage)."""
+        return self._superseded_blocks
 
     def extent_keys(self) -> List[Any]:
         """The extent keys in the order they were written (disk order)."""

@@ -94,6 +94,23 @@ class ExternalHashTable:
         self._num_buckets = len(self._bucket_blocks)
         self._built = True
 
+    def update(self, key: Hashable, value: Any) -> None:
+        """Overwrite (or insert) one entry in place (one bucket read + write).
+
+        The incremental-maintenance hook: the ReachGraph object index patches
+        an object's assignment history when a merge appends vertices, instead
+        of rebuilding the whole table.  The write goes through the buffer
+        pool's write-back path, so the device write is deferred until the
+        frame is evicted or flushed — the same discipline every other staged
+        write follows.
+        """
+        if not self._built:
+            raise StorageError(f"hash table {self.name!r} has not been built")
+        block_id = self._bucket_blocks[hash(key) % self._num_buckets]
+        bucket: Dict[Hashable, Any] = dict(self._buffer.read(block_id))
+        bucket[key] = value
+        self._buffer.write(block_id, bucket)
+
     # ------------------------------------------------------------------
     # lookup
     # ------------------------------------------------------------------

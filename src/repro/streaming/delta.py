@@ -41,7 +41,7 @@ from ..storage import BlockFile, StorageSystem
 from ..trajectory.model import TrajectoryDataset
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from ..reachgraph import ReachGraphQueryProcessor
+    from ..reachgraph import DagPatch, GraphFrontier, ReachGraphQueryProcessor
 
 __all__ = [
     "DeltaGraph",
@@ -62,10 +62,18 @@ class SnapshotArtifacts:
     by :func:`~repro.streaming.service.build_snapshot_artifacts` (safe to run
     in a background thread) and adopted atomically by
     :meth:`ReachGraphDeltaOverlay.adopt_increment`.
+
+    Exactly one of ``processor`` / ``graph_patch`` is set when the merge
+    carries a ReachGraph fast path: ``processor`` is a complete freshly built
+    index (graph-rebuild mode, or the very first merge), ``graph_patch`` is
+    the incremental-mode alternative — a pure description of how the frozen
+    ticks extend the *live* index, applied in place at adoption time.  Both
+    are ``None`` for services that skip the fast path.
     """
 
     network: ContactNetwork
     processor: Optional["ReachGraphQueryProcessor"]
+    graph_patch: Optional["DagPatch"] = None
 
 
 class DeltaGraph:
@@ -333,6 +341,13 @@ class ReachGraphDeltaOverlay:
         self._processor = None  # ReachGraphQueryProcessor over the snapshot
         self._snapshot_watermark: Optional[TimeInstant] = None
         self._version = 0
+        # ReachGraph write-amplification ledger (mirrors the snapshot store's
+        # records ledger): vertex records ever written by builds/increments,
+        # full rebuilds performed, and partition blocks superseded by rewrites
+        # of indexes this overlay has since retired.
+        self._graph_records_written = 0
+        self._graph_rebuilds = 0
+        self._graph_superseded_base = 0
 
     # ------------------------------------------------------------------
     # delta maintenance
@@ -380,7 +395,7 @@ class ReachGraphDeltaOverlay:
             contacts=contacts,
         )
         self._network = ContactNetwork(dataset, contacts, distance_threshold)
-        self._processor = None
+        self._retire_processor()
         if build_reachgraph:
             from ..reachgraph import ReachGraphIndex, ReachGraphQueryProcessor
 
@@ -390,6 +405,8 @@ class ReachGraphDeltaOverlay:
                 contact_network=self._network,
             ).build()
             self._processor = ReachGraphQueryProcessor(index)
+            self._graph_records_written += index.records_written
+            self._graph_rebuilds += 1
         self._snapshot_watermark = watermark
         self._delta.clear()
 
@@ -407,11 +424,36 @@ class ReachGraphDeltaOverlay:
         contact of ``[origin, watermark]`` clipped past the current snapshot
         watermark (clipping is re-applied here to defend the partition
         invariant).  ``artifacts`` carries the purely rebuilt query-side
-        structures (contact network, optional ReachGraph processor), which is
+        structures (contact network, and either a fresh ReachGraph processor
+        or a :class:`~repro.reachgraph.DagPatch` for the live one), which is
         what keeps the expensive half of a merge off-thread-safe while this
         method — the only part touching live state — stays cheap: one run
-        append plus a few assignments.  Returns the records written.
+        append, a few assignments, and (in incremental graph mode) a patch
+        application proportional to the delta.  Returns the records written
+        to the snapshot store.
         """
+        # The graph half goes first: apply_increment validates the patch
+        # against the live index (a stale patch raises) before anything else
+        # mutates, so a rejected adoption leaves the store, network, delta,
+        # and watermark exactly as they were.
+        if artifacts.graph_patch is not None:
+            if self._processor is None:
+                raise StreamingError(
+                    "a graph patch was built but no live ReachGraph index "
+                    "exists to apply it to"
+                )
+            report = self._processor.index.apply_increment(
+                artifacts.graph_patch,
+                artifacts.network.dataset,
+                contact_network=artifacts.network,
+            )
+            self._graph_records_written += report.records_written
+        else:
+            self._retire_processor()
+            self._processor = artifacts.processor
+            if artifacts.processor is not None:
+                self._graph_records_written += artifacts.processor.index.records_written
+                self._graph_rebuilds += 1
         if self._store is None:
             self._version += 1
             self._store = ContactSnapshotStore(
@@ -427,10 +469,28 @@ class ReachGraphDeltaOverlay:
         ]
         appended = self._store.append_run(frozen)
         self._network = artifacts.network
-        self._processor = artifacts.processor
         self._snapshot_watermark = watermark
         self._delta.clear()
         return appended
+
+    def _retire_processor(self) -> None:
+        """Fold the outgoing index's garbage counter into the overlay's base."""
+        if self._processor is not None:
+            self._graph_superseded_base += self._processor.index.superseded_blocks
+        self._processor = None
+
+    def graph_frontier(self) -> Optional["GraphFrontier"]:
+        """The live index's resumable maintenance state, or ``None``.
+
+        ``None`` when no merge has installed a ReachGraph fast path yet — the
+        next merge then performs the initial full build.  Must be captured on
+        the thread that owns this overlay (the streaming service's
+        ``prepare_merge`` does), after which the pure patch computation may
+        run anywhere.
+        """
+        if self._processor is None:
+            return None
+        return self._processor.index.frontier()
 
     def maybe_compact(self, max_runs: int) -> int:
         """Compact the snapshot store once it holds more than ``max_runs`` runs.
@@ -495,6 +555,31 @@ class ReachGraphDeltaOverlay:
         return self._store.records_written if self._store is not None else 0
 
     @property
+    def snapshot_superseded_blocks(self) -> int:
+        """Store blocks orphaned by compactions (0 before any merge)."""
+        return self._store.superseded_blocks if self._store is not None else 0
+
+    @property
+    def graph_records_written(self) -> int:
+        """Vertex records the overlay's ReachGraph builds/patches ever wrote."""
+        return self._graph_records_written
+
+    @property
+    def graph_rebuilds(self) -> int:
+        """Full ReachGraph builds performed (incremental mode: just the first)."""
+        return self._graph_rebuilds
+
+    @property
+    def graph_superseded_blocks(self) -> int:
+        """Partition blocks orphaned by increment rewrites (graph garbage)."""
+        current = (
+            self._processor.index.superseded_blocks
+            if self._processor is not None
+            else 0
+        )
+        return self._graph_superseded_base + current
+
+    @property
     def amplification(self) -> float:
         """Delta size relative to the snapshot size (the merge trigger ratio)."""
         return self.delta_size / max(1, self.snapshot_size)
@@ -508,6 +593,16 @@ class ReachGraphDeltaOverlay:
     def has_reachgraph(self) -> bool:
         """True when the snapshot carries a ReachGraph fast path."""
         return self._processor is not None
+
+    @property
+    def snapshot_processor(self) -> Optional["ReachGraphQueryProcessor"]:
+        """The ReachGraph fast-path processor (``None`` without one).
+
+        In incremental graph mode this is the *same* object across merges —
+        its index is patched in place — which is what the maintenance tests
+        pin down.
+        """
+        return self._processor
 
     @property
     def storage(self) -> StorageSystem:

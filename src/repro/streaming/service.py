@@ -20,7 +20,7 @@ import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.config import (
     ContactConfig,
@@ -38,6 +38,9 @@ from .events import SampleEvent, StreamBatch
 from .ingest import StreamIngestor
 from .policy import MergeContext, make_policy
 from .source import replay
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..reachgraph import GraphFrontier
 
 __all__ = [
     "MergeBuild",
@@ -137,6 +140,12 @@ class MergeInputs:
     appends to the snapshot store (empty in rebuild mode, which rewrites the
     full prefix and never reads the slice).  ``mode`` records which write
     path the service's config selected when the inputs were captured.
+
+    ``graph_mode`` records the ReachGraph maintenance mode, and
+    ``graph_frontier`` carries the live index's captured resumable state when
+    the merge should *patch* the graph instead of rebuilding it — ``None``
+    when no index exists yet (the first merge builds one), when the config
+    asks for rebuilds, or when the service skips the fast path entirely.
     """
 
     prefix: TrajectoryDataset
@@ -147,6 +156,8 @@ class MergeInputs:
     distance_threshold: float
     build_reachgraph: bool
     mode: str
+    graph_mode: str = "incremental"
+    graph_frontier: Optional["GraphFrontier"] = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -194,23 +205,37 @@ def build_snapshot_artifacts(inputs: MergeInputs) -> SnapshotArtifacts:
     """Rebuild the query-side snapshot structures from captured merge inputs.
 
     The pure (off-thread-safe) half of an LSM-mode merge: the contact network
-    over the full prefix and, when configured, the ReachGraph fast-path
-    processor.  No storage the service owns is touched — the snapshot store
-    append happens later, inside
+    over the full prefix and, when configured, the ReachGraph fast path.  In
+    incremental graph mode (a :attr:`MergeInputs.graph_frontier` was
+    captured) the fast path is *not* rebuilt — the frozen slice is replayed
+    over the frontier into a :class:`~repro.reachgraph.DagPatch` whose cost
+    is proportional to the appended ticks, and the live index is patched at
+    adoption time.  No storage the service owns is touched here — the
+    snapshot store append (and the patch application) happen later, inside
     :meth:`StreamingReachabilityService.adopt_merge`.
     """
     network = ContactNetwork(inputs.prefix, inputs.contacts, inputs.distance_threshold)
     processor = None
+    graph_patch = None
     if inputs.build_reachgraph:
-        from ..reachgraph import ReachGraphIndex, ReachGraphQueryProcessor
+        if inputs.graph_frontier is not None:
+            from ..reachgraph import compute_graph_patch
 
-        index = ReachGraphIndex(
-            inputs.prefix,
-            contact_config=None,
-            contact_network=network,
-        ).build()
-        processor = ReachGraphQueryProcessor(index)
-    return SnapshotArtifacts(network=network, processor=processor)
+            graph_patch = compute_graph_patch(
+                inputs.graph_frontier, inputs.new_contacts, inputs.bound
+            )
+        else:
+            from ..reachgraph import ReachGraphIndex, ReachGraphQueryProcessor
+
+            index = ReachGraphIndex(
+                inputs.prefix,
+                contact_config=None,
+                contact_network=network,
+            ).build()
+            processor = ReachGraphQueryProcessor(index)
+    return SnapshotArtifacts(
+        network=network, processor=processor, graph_patch=graph_patch
+    )
 
 
 def build_merge(
@@ -245,7 +270,11 @@ class StreamingStats:
     snapshot_contacts: int
     snapshot_runs: int
     snapshot_records_written: int
+    superseded_blocks: int
     compactions: int
+    graph_records_written: int
+    graph_rebuilds: int
+    graph_superseded_blocks: int
     flushed_intervals: int
     ingest_seconds: float
 
@@ -299,6 +328,8 @@ class StreamingReachabilityService:
         self._queries = 0
         self._compactions = 0
         self._snapshot_records_written = 0
+        self._graph_records_written = 0
+        self._graph_rebuilds = 0
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -439,6 +470,17 @@ class StreamingReachabilityService:
                 )
                 if clipped is not None
             )
+        graph_mode = self.streaming_config.graph_mode
+        graph_frontier = None
+        if (
+            mode != "rebuild"
+            and graph_mode == "incremental"
+            and self.streaming_config.build_reachgraph_on_merge
+        ):
+            # Capture the live index's resumable state on this (owning)
+            # thread; None before the first fast-path build, which makes the
+            # first merge a full build and every later one a patch.
+            graph_frontier = self._overlay.graph_frontier()
         return MergeInputs(
             prefix=self._ingestor.prefix_dataset(through=bound),
             contacts=contacts,
@@ -448,6 +490,8 @@ class StreamingReachabilityService:
             distance_threshold=self.contact_config.distance_threshold,
             build_reachgraph=self.streaming_config.build_reachgraph_on_merge,
             mode=mode,
+            graph_mode=graph_mode,
+            graph_frontier=graph_frontier,
         )
 
     def adopt_merge(self, build: MergeBuild, inputs: MergeInputs) -> None:
@@ -465,6 +509,8 @@ class StreamingReachabilityService:
             self.adopt_snapshot(build.overlay, inputs.bound)
             return
         assert build.artifacts is not None, "MergeBuild must carry one half"
+        graph_written_before = self._overlay.graph_records_written
+        graph_rebuilds_before = self._overlay.graph_rebuilds
         self._snapshot_records_written += self._overlay.adopt_increment(
             build.artifacts,
             inputs.new_contacts,
@@ -472,6 +518,10 @@ class StreamingReachabilityService:
             origin=inputs.prefix.horizon.start,
             temporal_resolution=inputs.temporal_resolution,
         )
+        self._graph_records_written += (
+            self._overlay.graph_records_written - graph_written_before
+        )
+        self._graph_rebuilds += self._overlay.graph_rebuilds - graph_rebuilds_before
         self._finish_adopt(inputs.bound)
         # Compaction deliberately runs here, on the adopting thread, even in
         # the async service: it reads the live runs through the (non-thread-
@@ -502,6 +552,8 @@ class StreamingReachabilityService:
         """
         previous = self._overlay
         self._snapshot_records_written += overlay.snapshot_records_written
+        self._graph_records_written += overlay.graph_records_written
+        self._graph_rebuilds += overlay.graph_rebuilds
         self._overlay = overlay
         self._finish_adopt(bound)
         if previous is not overlay and previous.storage is not overlay.storage:
@@ -632,6 +684,25 @@ class StreamingReachabilityService:
         return self._snapshot_records_written
 
     @property
+    def graph_records_written(self) -> int:
+        """Cumulative ReachGraph vertex records written by merges.
+
+        The graph-side write-amplification ledger: graph-rebuild merges write
+        the complete vertex set every time, incremental merges write only the
+        fresh and dirtied partitions.
+        """
+        return self._graph_records_written
+
+    @property
+    def graph_rebuilds(self) -> int:
+        """Full ReachGraph builds performed by merges.
+
+        1 over the whole stream in incremental mode (the initial build);
+        one per fast-path merge in rebuild mode.
+        """
+        return self._graph_rebuilds
+
+    @property
     def stats(self) -> StreamingStats:
         """A snapshot of the service's counters."""
         return StreamingStats(
@@ -647,7 +718,11 @@ class StreamingReachabilityService:
             snapshot_contacts=self._overlay.snapshot_size,
             snapshot_runs=self._overlay.snapshot_runs,
             snapshot_records_written=self._snapshot_records_written,
+            superseded_blocks=self._overlay.snapshot_superseded_blocks,
             compactions=self._compactions,
+            graph_records_written=self._graph_records_written,
+            graph_rebuilds=self._graph_rebuilds,
+            graph_superseded_blocks=self._overlay.graph_superseded_blocks,
             flushed_intervals=self._ingestor.num_flushed_intervals,
             ingest_seconds=self._ingestor.ingest_seconds,
         )

@@ -36,6 +36,28 @@ def pytest_addoption(parser):
         default=None,
         help="run sharding tests with this shard count only (default: all)",
     )
+    parser.addoption(
+        "--graph-mode",
+        choices=("incremental", "rebuild"),
+        default=None,
+        help=(
+            "run graph-mode-parametrized streaming tests with this ReachGraph "
+            "maintenance mode only (default: both)"
+        ),
+    )
+
+
+def pytest_generate_tests(metafunc):
+    """Parametrize every ``graph_mode`` test, honouring the --graph-mode flag.
+
+    Lives here (not in one test module) so the flag pins the mode uniformly
+    across the streaming, sharding, and async suites — CI's graph-modes
+    matrix relies on that.
+    """
+    if "graph_mode" in metafunc.fixturenames:
+        chosen = metafunc.config.getoption("graph_mode", default=None)
+        modes = (chosen,) if chosen else ("incremental", "rebuild")
+        metafunc.parametrize("graph_mode", modes)
 
 # ----------------------------------------------------------------------
 # Figure 1 scenario (ground truth from the paper)

@@ -20,6 +20,7 @@ from repro.baselines.reference import evaluate_reachability
 from repro.contacts import build_contact_network
 from repro.contacts.network import ContactNetwork
 from repro.core import (
+    GRAPH_MODES,
     STORAGE_BACKENDS,
     QueryResult,
     ReachabilityQuery,
@@ -30,6 +31,7 @@ from repro.trajectory.model import TrajectoryDataset
 
 __all__ = [
     "EQUIVALENCE_BACKENDS",
+    "EQUIVALENCE_GRAPH_MODES",
     "backend_storage_config",
     "prefix_network",
     "reference_evaluator",
@@ -42,6 +44,11 @@ Evaluator = Callable[[ReachabilityQuery], QueryResult]
 #: (streaming, sharded, async) must answer bit-identically no matter which
 #: block device its snapshot extents land on.
 EQUIVALENCE_BACKENDS = tuple(b for b in STORAGE_BACKENDS if b != "sim")
+
+#: The ReachGraph-maintenance axis: whether merges patch the reduced DAG in
+#: place or rebuild the index from scratch must never change an answer — at
+#: any watermark, on any service variant.
+EQUIVALENCE_GRAPH_MODES = GRAPH_MODES
 
 
 def backend_storage_config(

@@ -264,6 +264,58 @@ class TestAsyncEquivalence:
 
         run(scenario())
 
+    def test_equivalence_per_graph_mode_mid_merge(self, dataset, graph_mode):
+        """The graph_mode axis through the async adoption path: answers must
+        be correct while background merges are in flight and after they
+        adopt, in both modes (the async shards skip the fast path, so the
+        modes must be indistinguishable plumbing here)."""
+
+        async def scenario():
+            service = make_async(
+                dataset,
+                2,
+                max_delta_contacts=1_000_000,
+                batch_ticks=6,
+                graph_mode=graph_mode,
+            )
+            workload = list(random_queries(dataset, count=8, seed=13))
+            reference = reference_evaluator(prefix_network(dataset, THRESHOLD))
+            async with service:
+                for batch in DatasetReplaySource(dataset, batch_ticks=6).batches():
+                    await service.ingest(batch)
+                await service.drain()
+                tasks = service.schedule_merge()
+                assert tasks
+                assert_methods_agree(
+                    reference,
+                    {
+                        f"async-{graph_mode}-inflight": await collect_async_answers(
+                            service, workload
+                        )
+                    },
+                    workload,
+                    check_earliest=True,
+                    require_earliest=True,
+                    context=f"graph_mode={graph_mode}, merges in flight",
+                )
+                await asyncio.gather(*tasks, return_exceptions=True)
+                await service.drain()
+                assert service.background_merges == len(tasks)
+                assert_methods_agree(
+                    reference,
+                    {
+                        f"async-{graph_mode}-adopted": await collect_async_answers(
+                            service, workload
+                        )
+                    },
+                    workload,
+                    check_earliest=True,
+                    require_earliest=True,
+                    context=f"graph_mode={graph_mode}, merges adopted",
+                )
+
+        run(scenario())
+
     def test_replay_convenience_matches_reference(self, dataset):
         async def scenario():
             service = make_async(dataset, 2, max_delta_contacts=24, batch_ticks=8)

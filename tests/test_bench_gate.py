@@ -15,7 +15,12 @@ from pathlib import Path
 
 import pytest
 
-from repro.cli import _CONCURRENCY_KWARGS, _SHARD_KWARGS, build_parser
+from repro.cli import (
+    _CONCURRENCY_KWARGS,
+    _GRAPH_MODE_KWARGS,
+    _SHARD_KWARGS,
+    build_parser,
+)
 from repro.experiments.figures import EXPERIMENTS
 
 
@@ -145,6 +150,8 @@ class TestGate:
             "test_streaming_ingest_and_query",
             "test_sharded_scaling_curve",
             "test_async_vs_sync_serving",
+            "test_storage_backend_comparison",
+            "test_graph_merge_cost",
         }
 
 
@@ -154,6 +161,14 @@ class TestCliPlumbing:
         assert args.concurrency == 8
         assert build_parser().parse_args(["stream"]).concurrency is None
 
+    def test_graph_mode_flag_parses(self):
+        args = build_parser().parse_args(["stream-graph", "--graph-mode", "rebuild"])
+        assert args.graph_mode == "rebuild"
+        assert build_parser().parse_args(["stream-graph"]).graph_mode is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream-graph", "--graph-mode", "bogus"])
+
     def test_injection_tables_reference_known_experiments(self):
         assert set(_SHARD_KWARGS) <= set(EXPERIMENTS)
         assert set(_CONCURRENCY_KWARGS) <= set(EXPERIMENTS)
+        assert set(_GRAPH_MODE_KWARGS) <= set(EXPERIMENTS)

@@ -117,6 +117,7 @@ class TestExperimentDrivers:
             "stream-sharded",
             "stream-async",
             "stream-disk",
+            "stream-graph",
         }
 
     def test_table1_is_static(self):

@@ -151,6 +151,40 @@ class TestShardedEquivalence:
             )
         assert sharded.num_merges > 0
 
+    def test_equivalence_per_graph_mode(self, dataset, shards, graph_mode):
+        """The graph_mode axis threads through the sharded merge path too.
+
+        Per-shard snapshots never build the ReachGraph fast path (they are
+        not individually authoritative), so both modes must be pure plumbing
+        here: identical answers at every watermark, zero graph writes."""
+        # elapsed-intervals fires for every shard that flushes grid intervals,
+        # so merges definitely exercise the graph_mode plumbing.
+        sharded = make_sharded(
+            dataset,
+            shards,
+            "hash",
+            merge_policy="elapsed-intervals",
+            max_elapsed_intervals=2,
+            batch_ticks=12,
+            graph_mode=graph_mode,
+        )
+        workload = random_queries(dataset, count=8, seed=11)
+        for batch in DatasetReplaySource(dataset, batch_ticks=12).batches():
+            sharded.ingest(batch)
+            low = sharded.low_watermark
+            assert_methods_agree(
+                reference_evaluator(prefix_network(dataset, THRESHOLD, through=low)),
+                {f"sharded-{graph_mode}": sharded.query},
+                workload,
+                check_earliest=True,
+                context=f"shards={shards}, graph_mode={graph_mode}, watermark={low}",
+            )
+        assert sharded.num_merges > 0
+        assert all(
+            shard.graph_records_written == 0 and shard.graph_rebuilds == 0
+            for shard in sharded.shard_services
+        ), "per-shard services must never build a graph, whatever the mode"
+
     @pytest.mark.slow
     @pytest.mark.parametrize("backend", EQUIVALENCE_BACKENDS)
     def test_equivalence_on_persistent_backends(self, dataset, shards, backend):

@@ -13,6 +13,7 @@ import pytest
 
 from equivalence import (
     EQUIVALENCE_BACKENDS,
+    EQUIVALENCE_GRAPH_MODES,
     assert_methods_agree,
     backend_storage_config,
     prefix_network,
@@ -52,6 +53,11 @@ from repro.workloads.queries import random_queries
 # tests/conftest.py would collide with benchmarks/conftest.py when the whole
 # repo is collected in one pytest run).
 TINY_THRESHOLD = 30.0
+
+# The graph_mode axis itself is parametrized by tests/conftest.py's
+# pytest_generate_tests (honouring --graph-mode); this module only asserts
+# the canned axis matches the config's registered modes.
+assert EQUIVALENCE_GRAPH_MODES == ("incremental", "rebuild")
 
 
 # ----------------------------------------------------------------------
@@ -893,6 +899,237 @@ class TestSnapshotCompaction:
             random_queries(tiny_dataset, count=25, seed=43),
             check_earliest=True,
         )
+
+
+# ----------------------------------------------------------------------
+# incremental ReachGraph maintenance vs rebuild-per-merge
+# ----------------------------------------------------------------------
+class TestGraphModeMaintenance:
+    """The graph_mode axis: patching the reduced DAG must be invisible.
+
+    Incremental and rebuild modes must answer bit-identically to each other
+    and to the batch reference at every watermark; the only permitted
+    difference is the write ledger (incremental strictly cheaper on a
+    multi-merge workload).
+    """
+
+    @staticmethod
+    def _service(dataset, contact_config, **overrides):
+        overrides.setdefault("max_delta_contacts", 48)
+        return StreamingReachabilityService.for_dataset(
+            dataset,
+            contact_config=contact_config,
+            streaming_config=StreamingConfig(**overrides),
+        )
+
+    def test_equivalence_at_every_watermark(
+        self, graph_mode, tiny_dataset, tiny_contact_config
+    ):
+        service = self._service(
+            tiny_dataset, tiny_contact_config, graph_mode=graph_mode
+        )
+        workload = random_queries(tiny_dataset, count=12, seed=23)
+        for position, batch in enumerate(
+            DatasetReplaySource(tiny_dataset, batch_ticks=8).batches()
+        ):
+            service.ingest(batch)
+            if position % 3 != 1:
+                continue
+            assert_methods_agree(
+                reference_evaluator(
+                    prefix_network(
+                        tiny_dataset, TINY_THRESHOLD, through=service.watermark
+                    )
+                ),
+                {f"graph-{graph_mode}": service.query},
+                workload,
+                context=f"graph_mode={graph_mode}, watermark={service.watermark}",
+            )
+        assert service.num_merges > 1, "the workload must exercise several merges"
+        if graph_mode == "incremental":
+            assert service.graph_rebuilds == 1
+        else:
+            assert service.graph_rebuilds == service.num_merges
+
+    def test_incremental_patches_one_live_index(
+        self, tiny_dataset, tiny_contact_config
+    ):
+        """Incremental mode keeps ONE index object and patches it in place."""
+        service = self._service(
+            tiny_dataset, tiny_contact_config, graph_mode="incremental"
+        )
+        processors = set()
+        for batch in DatasetReplaySource(tiny_dataset, batch_ticks=8).batches():
+            service.ingest(batch)
+            processor = service.overlay.snapshot_processor
+            if processor is not None:
+                processors.add(id(processor))
+        assert service.num_merges > 1
+        assert len(processors) == 1, "merges must not swap the processor"
+        index = service.overlay.snapshot_processor.index
+        assert index.num_increments == service.num_merges - 1
+        assert index.dag.horizon.end == service.overlay.snapshot_watermark
+
+    def test_incremental_index_equals_batch_rebuild(
+        self, tiny_dataset, tiny_contact_config
+    ):
+        """After the same merges, the patched index must be structurally
+        identical to one rebuilt from scratch: same vertices (ids, intervals,
+        members), same DN_1 edges, same long-edge layers, same assignment
+        histories — partition placement is the only thing allowed to differ."""
+        services = {
+            mode: self._service(tiny_dataset, tiny_contact_config, graph_mode=mode)
+            for mode in ("incremental", "rebuild")
+        }
+        for batch in DatasetReplaySource(tiny_dataset, batch_ticks=8).batches():
+            for service in services.values():
+                service.ingest(batch)
+        for service in services.values():
+            service.merge()  # freeze the tail so both graphs cover everything
+        patched = services["incremental"].overlay.snapshot_processor.index
+        rebuilt = services["rebuild"].overlay.snapshot_processor.index
+        assert patched.dag.num_nodes == rebuilt.dag.num_nodes
+        for mine, theirs in zip(patched.dag.nodes, rebuilt.dag.nodes):
+            assert mine.node_id == theirs.node_id
+            assert mine.interval == theirs.interval
+            assert mine.members == theirs.members
+        assert patched.dag.forward == rebuilt.dag.forward
+        assert patched.dag.backward == rebuilt.dag.backward
+        assert patched.hypergraph.resolutions == rebuilt.hypergraph.resolutions
+        for resolution in patched.hypergraph.resolutions:
+            assert (
+                patched.hypergraph.layer(resolution).forward
+                == rebuilt.hypergraph.layer(resolution).forward
+            ), f"long-edge layer {resolution} diverged"
+        for object_id in tiny_dataset.object_ids:
+            assert patched.find_vertex_id(
+                object_id, patched.dag.horizon.end
+            ) == rebuilt.find_vertex_id(object_id, rebuilt.dag.horizon.end)
+
+    def test_graph_ledger_incremental_strictly_below_rebuild(
+        self, tiny_dataset, tiny_network, tiny_contact_config
+    ):
+        ledgers = {}
+        for mode in ("incremental", "rebuild"):
+            service = self._service(
+                tiny_dataset,
+                tiny_contact_config,
+                max_delta_contacts=16,
+                graph_mode=mode,
+            )
+            service.drain(tiny_dataset)
+            assert service.num_merges > 3
+            ledgers[mode] = service.graph_records_written
+            assert_methods_agree(
+                reference_evaluator(tiny_network),
+                {f"graph-{mode}": service.query},
+                random_queries(tiny_dataset, count=20, seed=29),
+                check_earliest=True,
+            )
+        assert ledgers["incremental"] < ledgers["rebuild"], ledgers
+
+    def test_forced_merge_at_same_bound_applies_empty_patch(
+        self, tiny_dataset, tiny_network, tiny_contact_config
+    ):
+        service = self._service(
+            tiny_dataset, tiny_contact_config, graph_mode="incremental"
+        )
+        service.drain(tiny_dataset)
+        service.merge()
+        index = service.overlay.snapshot_processor.index
+        vertices_before = index.num_vertices
+        written_before = service.graph_records_written
+        service.merge(through=service.watermark)  # zero new ticks
+        assert index.num_vertices == vertices_before
+        assert service.graph_records_written == written_before
+        assert_methods_agree(
+            reference_evaluator(tiny_network),
+            {"post-noop-merge": service.query},
+            random_queries(tiny_dataset, count=10, seed=31),
+            check_earliest=True,
+        )
+
+    def test_stale_patch_is_rejected_without_side_effects(
+        self, tiny_dataset, tiny_contact_config
+    ):
+        """A patch captured against an older frontier must be refused by
+        adoption *before* any overlay state mutates: snapshot store, delta,
+        watermark, and index are exactly as they were."""
+        from repro.core import IndexConstructionError
+        from repro.streaming.service import build_merge
+
+        service = self._service(
+            tiny_dataset, tiny_contact_config, graph_mode="incremental"
+        )
+        batches = list(DatasetReplaySource(tiny_dataset, batch_ticks=8).batches())
+        for batch in batches[:6]:
+            service.ingest(batch)
+        service.merge()
+        # Capture a merge against the current frontier...
+        for batch in batches[6:9]:
+            service.ingest(batch)
+        stale_inputs = service.prepare_merge()
+        stale_build = build_merge(stale_inputs, None)
+        # ...then advance the live index past it with a real merge.
+        service.merge()
+        overlay = service.overlay
+        vertices = overlay.snapshot_processor.index.num_vertices
+        snapshot_size = overlay.snapshot_size
+        delta_size = overlay.delta_size
+        watermark = overlay.snapshot_watermark
+        with pytest.raises(IndexConstructionError):
+            service.adopt_merge(stale_build, stale_inputs)
+        assert overlay.snapshot_processor.index.num_vertices == vertices
+        assert overlay.snapshot_size == snapshot_size
+        assert overlay.delta_size == delta_size
+        assert overlay.snapshot_watermark == watermark
+
+    def test_close_reopen_answers_match_per_graph_mode(
+        self, graph_mode, tmp_path, tiny_dataset, tiny_contact_config
+    ):
+        """The graph fast path is not persisted, but closing and reopening a
+        service must answer identically regardless of how the graph was
+        maintained while it was live."""
+        storage_config = backend_storage_config("file", str(tmp_path))
+        service = StreamingReachabilityService.for_dataset(
+            tiny_dataset,
+            contact_config=tiny_contact_config,
+            streaming_config=StreamingConfig(
+                max_delta_contacts=48, graph_mode=graph_mode
+            ),
+            storage_config=storage_config,
+        )
+        service.drain(tiny_dataset)
+        assert service.num_merges > 0
+        final = service.watermark
+        workload = random_queries(tiny_dataset, count=15, seed=37)
+        live = {query: service.query(query).reachable for query in workload}
+        service.close()
+        reopened = SnapshotQueryService.open(storage_config, name=service.name)
+        assert reopened.watermark == final
+        assert_methods_agree(
+            reference_evaluator(
+                prefix_network(tiny_dataset, TINY_THRESHOLD, through=final)
+            ),
+            {f"reopened-{graph_mode}": reopened.query},
+            workload,
+            check_earliest=True,
+            require_earliest=True,
+            context=f"graph_mode={graph_mode}, reopened",
+        )
+        for query in workload:
+            assert bool(reopened.query(query).reachable) == bool(live[query])
+        reopened.close()
+
+    def test_engine_streaming_accepts_graph_mode(self, tiny_dataset):
+        engine = ReachabilityEngine(tiny_dataset)
+        service = engine.streaming(graph_mode="rebuild")
+        assert service.streaming_config.graph_mode == "rebuild"
+        with pytest.raises(ConfigurationError):
+            engine.streaming(graph_mode="bogus")
+        with pytest.raises(ConfigurationError):
+            StreamingConfig(graph_mode="bogus")
+        assert StreamingConfig().with_graph_mode("rebuild").graph_mode == "rebuild"
 
 
 class TestStreamExperiment:
