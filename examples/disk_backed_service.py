@@ -62,13 +62,14 @@ def main() -> None:
             result = reopened.query(query)
             total_io += result.io
             expected = before[query]
-            # The live service answered through the ReachGraph fast path,
-            # which (like any bidirectional traversal) may omit the earliest
-            # reach time; the reopened union path always computes it.  The
+            # Both sides may answer through the ReachGraph fast path (the
+            # reopened service restores the persisted index), and a
+            # bidirectional traversal may omit the earliest reach time.  The
             # verdicts must agree exactly, earliest times wherever both sides
             # report one.
             if bool(result.reachable) != bool(expected.reachable) or (
                 expected.earliest_time is not None
+                and result.earliest_time is not None
                 and result.earliest_time != expected.earliest_time
             ):
                 mismatches += 1

@@ -179,11 +179,14 @@ class ReachabilityEngine:
         the service (one of ``STORAGE_BACKENDS``: ``sim``, ``file``,
         ``mmap``), and ``storage_dir`` pins the persistent backends' files to
         a real directory so the service's queryable state survives
-        ``service.close()``.  Reopening that state with
-        :meth:`repro.streaming.SnapshotQueryService.open` is supported for
-        the unsharded synchronous service (the default); the sharded and
-        async services close durably per shard, but no unioned reopen path
-        exists for them yet (see ROADMAP).
+        ``service.close()`` — or a crash.  Every service shape reopens:
+        :meth:`reopen_streaming` (or, directly,
+        :meth:`repro.streaming.SnapshotQueryService.open` /
+        :meth:`repro.streaming.ShardedSnapshotQueryService.open` /
+        :meth:`repro.streaming.AsyncReachabilityService.reopen`) restores the
+        committed prefix from the device files, and
+        :meth:`repro.streaming.StreamingReachabilityService.open` resumes
+        *ingesting* an unsharded stream from its journaled checkpoint.
 
         ``graph_mode`` selects how merges advance the snapshot's ReachGraph
         fast path (one of ``GRAPH_MODES``): ``incremental`` patches the
@@ -240,6 +243,54 @@ class ReachabilityEngine:
             streaming_config=config,
             storage_config=storage_config,
         )
+
+    @staticmethod
+    def reopen_streaming(
+        storage_backend: str,
+        storage_dir: str,
+        name: str | None = None,
+        sharded: bool = False,
+    ):
+        """Reopen the durable state a streaming service left in ``storage_dir``.
+
+        The counterpart of :meth:`streaming` after a ``close()`` — or after a
+        crash: only what the service's last flush committed is restored, which
+        is exactly the recovery guarantee the services give.  Returns a
+        read-only query service over the committed prefix — a
+        :class:`~repro.streaming.service.SnapshotQueryService` for the
+        unsharded shape (answering through its restored ReachGraph index when
+        one was persisted), or, with ``sharded=True``, a
+        :class:`~repro.streaming.coordinator.ShardedSnapshotQueryService`
+        that restores every shard plus the cross-shard contact log and
+        answers at the committed global low-watermark (async services close
+        into this shape too — pass their name, default ``async-stream``).
+
+        ``name`` must match the name the state was written under.  Left
+        unset, it defaults to the shapes' constructor defaults (``stream``
+        unsharded, ``sharded-stream`` sharded) — but services created through
+        :meth:`streaming` (i.e. ``for_dataset``) persist under
+        ``<dataset>-stream`` / ``<dataset>-sharded`` / ``<dataset>-async``
+        instead; pass the service's ``.name``.  To *resume ingesting* an
+        unsharded stream instead of just querying it, use
+        :meth:`repro.streaming.StreamingReachabilityService.open`.
+        """
+        from ..streaming.coordinator import ShardedSnapshotQueryService
+        from ..streaming.service import SnapshotQueryService
+
+        if storage_backend == "sim":
+            raise ConfigurationError(
+                "reopen_streaming requires a persistent storage_backend "
+                "('file' or 'mmap'); the 'sim' backend leaves nothing behind "
+                "to reopen"
+            )
+        storage_config = StorageConfig(
+            backend=storage_backend, storage_dir=storage_dir
+        )
+        if sharded:
+            return ShardedSnapshotQueryService.open(
+                storage_config, name=name or "sharded-stream"
+            )
+        return SnapshotQueryService.open(storage_config, name=name or "stream")
 
     def build_grail(self, config: GrailConfig | None = None):
         """Build the GRAIL baseline index over the reduced DAG (returns it)."""

@@ -40,7 +40,7 @@ from ..core.errors import IndexConstructionError, IndexNotBuiltError, UnknownObj
 from ..core.types import ObjectId, TimeInstant, TimeInterval
 from ..contacts.join import build_contact_network
 from ..contacts.network import Contact, ContactNetwork
-from ..storage import StorageSystem
+from ..storage import BlockFile, ExternalHashTable, StorageSystem
 from ..trajectory.model import TrajectoryDataset
 from .augmentation import (
     AugmentationReport,
@@ -49,7 +49,7 @@ from .augmentation import (
     next_window_start,
     window_edges,
 )
-from .dag import ContactDag, DagPatch, DagPatchBuilder, HyperGraph
+from .dag import ContactDag, DagPatch, DagPatchBuilder, HyperGraph, LongEdgeLayer
 from .partition import Partitioning, extend_partitioning, partition_hypergraph
 from .reduction import (
     ReductionCursor,
@@ -230,14 +230,35 @@ class ReachGraphIndex:
         contact_config: ContactConfig | None = None,
         storage_config: StorageConfig | None = None,
         contact_network: Optional[ContactNetwork] = None,
+        storage: Optional[StorageSystem] = None,
+        name: str = "reachgraph",
+        defer_placement: bool = False,
     ) -> None:
         self.dataset = dataset
         self.config = config or ReachGraphConfig()
         self.contact_config = contact_config or ContactConfig()
-        self.storage = StorageSystem(storage_config, name="reachgraph", attach=False)
+        self.name = name
         self._provided_network = contact_network
-        self._partitions_file = self.storage.new_blockfile("reachgraph-partitions")
-        self._object_index = self.storage.new_hashtable("reachgraph-object-index")
+        if defer_placement and storage is not None:
+            raise IndexConstructionError(
+                "defer_placement builds in memory; do not also inject a storage"
+            )
+        # ``storage`` injects the owner's device (a streaming overlay persists
+        # its graph alongside the snapshot store); without it the index keeps
+        # the historical behaviour of allocating its own system.
+        # ``defer_placement`` builds the in-memory structures only — a
+        # background thread can run the expensive half, after which
+        # :meth:`place` writes the partitions on the adopting thread.
+        self._storage: Optional[StorageSystem] = None
+        self._partitions_file: Optional[BlockFile] = None
+        self._object_index: Optional[ExternalHashTable] = None
+        if not defer_placement:
+            self._attach_files(
+                storage
+                if storage is not None
+                else StorageSystem(storage_config, name=name, attach=False),
+                create=True,
+            )
         self._built = False
 
         # Populated by build().
@@ -252,6 +273,29 @@ class ReachGraphIndex:
         self._window_cursors: Dict[int, TimeInstant] = {}
         self._records_written = 0
         self._increments = 0
+
+    def _attach_files(self, storage: StorageSystem, create: bool) -> None:
+        self._storage = storage
+        if create:
+            self._partitions_file = storage.new_blockfile(f"{self.name}-partitions")
+            self._object_index = storage.new_hashtable(f"{self.name}-object-index")
+        else:
+            self._partitions_file = storage.blockfile(f"{self.name}-partitions")
+            self._object_index = storage.hashtable(f"{self.name}-object-index")
+
+    @property
+    def storage(self) -> StorageSystem:
+        """The storage system holding the placed index."""
+        if self._storage is None:
+            raise IndexNotBuiltError(
+                "index was built with defer_placement=True; call place() first"
+            )
+        return self._storage
+
+    @property
+    def is_placed(self) -> bool:
+        """True once the index lives on a storage system."""
+        return self._storage is not None
 
     # ------------------------------------------------------------------
     # construction
@@ -285,23 +329,48 @@ class ReachGraphIndex:
             for resolution in self.config.sorted_resolutions
         }
 
-        self._write_partitions()
-        self._build_object_index()
+        if self._storage is not None:
+            self._write_partitions()
+            self._build_object_index()
 
         self.build_report = ReachGraphBuildReport(
             reduction=reduction_report,
             augmentation=augmentation_report,
             num_partitions=partitioning.num_partitions,
-            num_blocks=self._partitions_file.num_blocks,
+            num_blocks=(
+                self._partitions_file.num_blocks
+                if self._partitions_file is not None
+                else 0
+            ),
             build_seconds=time.perf_counter() - started,
-            write_ios=self.storage.stats.writes,
+            write_ios=self._storage.stats.writes if self._storage is not None else 0,
         )
         self._built = True
         return self
 
+    def place(self, storage: StorageSystem, name: str | None = None) -> None:
+        """Write a deferred-placement build onto ``storage``.
+
+        The counterpart of ``defer_placement=True``: the in-memory build may
+        run in a background thread, and the adopting (storage-owning) thread
+        calls this to create the partition file and object index and write
+        them out.  ``name`` optionally renames the on-device files — the
+        streaming overlay versions them (``graph-v1``, ``graph-v2``, …) so
+        successive rebuild-mode graphs on one device never collide.
+        """
+        self._require_built()
+        if self._storage is not None:
+            raise IndexConstructionError("index is already placed on a storage system")
+        if name is not None:
+            self.name = name
+        self._attach_files(storage, create=True)
+        self._write_partitions()
+        self._build_object_index()
+
     def _write_partitions(self) -> None:
         """Write every partition as one contiguous extent, in generation order."""
         assert self.partitioning is not None and self.hypergraph is not None
+        assert self._partitions_file is not None
         dag = self.hypergraph.dag
         for partition_id, member_ids in enumerate(self.partitioning.members):
             records = [self._make_record(dag, node_id) for node_id in member_ids]
@@ -329,6 +398,7 @@ class ReachGraphIndex:
     def _build_object_index(self) -> None:
         """Build the external hash table: object → (start, vertex) assignment history."""
         assert self.dag is not None
+        assert self._object_index is not None
         entries: List[Tuple[ObjectId, AssignmentSegments]] = []
         for object_id in self.dataset.object_ids:
             segments = tuple(self.dag.assignment_segments(object_id))
@@ -429,6 +499,7 @@ class ReachGraphIndex:
         self._require_built()
         assert self.dag is not None and self.hypergraph is not None
         assert self.partitioning is not None
+        assert self._partitions_file is not None and self._object_index is not None
         dag = self.dag
         started = time.perf_counter()
 
@@ -532,6 +603,155 @@ class ReachGraphIndex:
         )
 
     # ------------------------------------------------------------------
+    # persistence (crash-consistent reopen)
+    # ------------------------------------------------------------------
+    def catalog(self) -> Dict[str, object]:
+        """A picklable description sufficient to :meth:`restore` this index.
+
+        Only what the partition extents cannot express is cataloged: the
+        configuration, the per-resolution window cursors (the augmentation
+        resumption points), and the write-amplification ledger.  The graph
+        itself is rebuilt from the vertex records on the device.
+        """
+        self._require_built()
+        return {
+            "name": self.name,
+            "resolutions": list(self.config.sorted_resolutions),
+            "partition_depth": self.config.partition_depth,
+            "window_cursors": sorted(self._window_cursors.items()),
+            "records_written": self._records_written,
+            "increments": self._increments,
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        storage: StorageSystem,
+        catalog: Dict[str, object],
+        dataset: TrajectoryDataset,
+        contact_network: ContactNetwork,
+    ) -> "ReachGraphIndex":
+        """Reattach an index to its partition extents on a reopened device.
+
+        ``storage`` must already hold the cataloged block file and hash table
+        (the storage system's durable catalog restored them); ``dataset`` and
+        ``contact_network`` are the prefix the index covered when the catalog
+        was written.  The DAG, hyper graph, and partitioning are rebuilt from
+        the vertex records — every structural fact lives in them — and the
+        object-index buckets are *reconciled* against the rebuilt DAG: bucket
+        rewrites go through the buffer pool in place, so a crash can leave a
+        bucket durably ahead of the cataloged graph (phantom trailing
+        assignment segments); reconciliation restores the exact pairing.
+        """
+        resolutions = tuple(
+            int(resolution) for resolution in catalog["resolutions"]  # type: ignore[union-attr]
+        )
+        config = ReachGraphConfig(
+            resolutions=resolutions,
+            partition_depth=int(catalog["partition_depth"]),  # type: ignore[arg-type]
+        )
+        index = cls(
+            dataset,
+            config=config,
+            contact_network=contact_network,
+            name=str(catalog["name"]),
+            defer_placement=True,
+        )
+        index._attach_files(storage, create=False)
+        index._restore_structures(catalog)
+        return index
+
+    def _restore_structures(self, catalog: Dict[str, object]) -> None:
+        assert self._partitions_file is not None and self._object_index is not None
+
+        # 1. Read every partition extent back.  The extent key is the
+        #    partition id; record order inside an extent is the member write
+        #    order, so the extents are the authoritative partitioning too.
+        partition_members: Dict[int, List[int]] = {}
+        records: List[VertexRecord] = []
+        for key in self._partitions_file.extent_keys():
+            partition_id = int(key)
+            extent_records: List[VertexRecord] = list(
+                self._partitions_file.read_extent(partition_id)
+            )
+            partition_members[partition_id] = [
+                record.node_id for record in extent_records
+            ]
+            records.extend(extent_records)
+        records.sort(key=lambda record: record.node_id)
+
+        # 2. Rebuild the DAG in id order — reproducing vertex ids and each
+        #    object's assignment-segment order — then edges and long-edge
+        #    layers (predecessors are re-derived by add_edge).
+        dag = ContactDag(self.dataset.horizon, len(self.dataset.object_ids))
+        for record in records:
+            node = dag.add_node(
+                TimeInterval(record.start, record.end), frozenset(record.members)
+            )
+            if node.node_id != record.node_id:
+                raise IndexConstructionError(
+                    f"partition extents are missing vertex {node.node_id}"
+                )
+        for record in records:
+            for successor_id in record.successors:
+                dag.add_edge(record.node_id, successor_id)
+        layers: List[LongEdgeLayer] = []
+        for resolution in self.config.sorted_resolutions:
+            layer = LongEdgeLayer(resolution)
+            for record in records:
+                for target_id in record.long_successors_at(resolution):
+                    layer.add_edge(record.node_id, target_id)
+            layers.append(layer)
+        self.dag = dag
+        self.hypergraph = HyperGraph(dag, layers)
+        self.network = self._provided_network
+
+        # 3. Partitioning from the extent directory (ids are append-ordered).
+        members = [
+            partition_members[partition_id]
+            for partition_id in range(len(partition_members))
+        ]
+        partitioning = Partitioning(
+            partition_of={
+                node_id: partition_id
+                for partition_id, member_ids in enumerate(members)
+                for node_id in member_ids
+            },
+            members=members,
+            depth=self.config.partition_depth,
+        )
+        self.partitioning = partitioning
+        # Shared, not copied — the same invariant build() establishes.
+        self._partition_of_vertex = partitioning.partition_of
+
+        # 4. Maintenance state and the write-amplification ledger.
+        self._window_cursors = {
+            int(resolution): int(cursor)
+            for resolution, cursor in catalog["window_cursors"]  # type: ignore[union-attr]
+        }
+        self._records_written = int(catalog["records_written"])  # type: ignore[arg-type]
+        self._increments = int(catalog["increments"])  # type: ignore[arg-type]
+        self._built = True
+
+        # 5. Reconcile the object-index buckets against the rebuilt DAG.
+        #    Doubles as the structural verification of the restored index: a
+        #    bucket that disagrees with the partition extents is rewritten
+        #    from graph truth.
+        for object_id in self.dataset.object_ids:
+            truth = tuple(dag.assignment_segments(object_id))
+            if not truth:
+                raise IndexConstructionError(
+                    f"object {object_id} has no assignments in the restored graph"
+                )
+            stored = self._object_index.get(object_id)
+            if stored is None:
+                raise IndexConstructionError(
+                    f"object {object_id} is missing from the restored object index"
+                )
+            if tuple(stored) != truth:
+                self._object_index.update(object_id, truth)
+
+    # ------------------------------------------------------------------
     # state checks
     # ------------------------------------------------------------------
     @property
@@ -549,6 +769,7 @@ class ReachGraphIndex:
     def find_vertex_id(self, object_id: ObjectId, t: TimeInstant) -> int:
         """Vertex containing ``object_id`` at time ``t`` (one hash-bucket read)."""
         self._require_built()
+        assert self._object_index is not None
         segments: Optional[AssignmentSegments] = self._object_index.get(object_id)
         if segments is None:
             raise UnknownObjectError(object_id)
@@ -576,6 +797,7 @@ class ReachGraphIndex:
     def read_partition(self, partition_id: int) -> List[VertexRecord]:
         """Read every vertex record of one partition from disk (charged IO)."""
         self._require_built()
+        assert self._partitions_file is not None
         return list(self._partitions_file.read_extent(partition_id))
 
     # ------------------------------------------------------------------
@@ -599,6 +821,7 @@ class ReachGraphIndex:
     def num_blocks(self) -> int:
         """Number of disk blocks occupied by the live partition extents."""
         self._require_built()
+        assert self._partitions_file is not None
         return self._partitions_file.num_blocks
 
     @property
@@ -609,6 +832,8 @@ class ReachGraphIndex:
     @property
     def superseded_blocks(self) -> int:
         """Blocks of partition extents superseded by increment rewrites."""
+        if self._partitions_file is None:
+            return 0
         return self._partitions_file.superseded_blocks
 
     @property

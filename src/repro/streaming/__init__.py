@@ -44,7 +44,11 @@ True
 from __future__ import annotations
 
 from .async_service import AsyncReachabilityService, AsyncStats
-from .coordinator import ShardedReachabilityService, ShardedStats
+from .coordinator import (
+    ShardedReachabilityService,
+    ShardedSnapshotQueryService,
+    ShardedStats,
+)
 from .delta import (
     ContactSnapshotStore,
     DeltaGraph,
@@ -104,6 +108,7 @@ __all__ = [
     "CrossShardContactTracker",
     "ShardedStreamIngestor",
     "ShardedReachabilityService",
+    "ShardedSnapshotQueryService",
     "ShardedStats",
     "MergeBuild",
     "MergeInputs",

@@ -48,7 +48,11 @@ from ..core.config import (
 from ..core.errors import StreamingError
 from ..core.types import QueryResult, ReachabilityQuery, TimeInstant
 from ..trajectory.model import TrajectoryDataset
-from .coordinator import ShardedReachabilityService, ShardedStats
+from .coordinator import (
+    ShardedReachabilityService,
+    ShardedSnapshotQueryService,
+    ShardedStats,
+)
 from .events import SampleEvent, StreamBatch
 from .service import (
     MergeInputs,
@@ -162,6 +166,21 @@ class AsyncReachabilityService:
             storage_config=storage_config,
             name=f"{dataset.name}-async",
         )
+
+    @classmethod
+    def reopen(
+        cls, storage_config: StorageConfig, name: str = "async-stream"
+    ) -> ShardedSnapshotQueryService:
+        """Reopen the state a closed async service left behind (read-only).
+
+        :meth:`aclose` closes the wrapped sharded service durably — every
+        shard overlay plus the coordinator manifest — so recovery is exactly
+        the sharded restore path: a :class:`ShardedSnapshotQueryService`
+        answering through the committed global low-watermark.  The result is
+        synchronous (no event loop needed): what survives a crash is data,
+        not the asyncio choreography around it.
+        """
+        return ShardedSnapshotQueryService.open(storage_config, name)
 
     async def __aenter__(self) -> "AsyncReachabilityService":
         self.start()
@@ -399,7 +418,8 @@ class AsyncReachabilityService:
         the ``async with`` exit path when the body raises mid-pause).
         Closing the wrapped sharded service last is what makes persistent
         backends durable: each shard's overlay manifest is written and its
-        devices fsync'd, so buffered writes cannot be lost with the process.
+        devices fsync'd, so buffered writes cannot be lost with the process;
+        :meth:`reopen` restores the result as a read-only query service.
         """
         if self._closed:
             return

@@ -25,6 +25,7 @@ over the contact network of the globally complete prefix
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, replace
 from typing import Iterable, List, Optional, Sequence, Tuple
@@ -39,15 +40,29 @@ from ..core.errors import StreamingError
 from ..core.types import QueryResult, ReachabilityQuery, TimeInstant, TimeInterval
 from ..baselines.reference import earliest_arrival
 from ..contacts.network import Contact
+from ..storage import BACKEND_FILE_SUFFIX, StorageSystem
+from ..testing.faults import crash_point
 from ..trajectory.model import TrajectoryDataset
 from .events import SampleEvent, StreamBatch
 from .policy import make_policy
 from .router import ShardRouter, make_router
-from .service import QueryResultCache, StreamingReachabilityService
+from .service import (
+    QueryResultCache,
+    SnapshotQueryService,
+    StreamingReachabilityService,
+)
 from .sharding import ShardedStreamIngestor
 from .source import replay
 
-__all__ = ["ShardedReachabilityService", "ShardedStats"]
+__all__ = [
+    "ShardedReachabilityService",
+    "ShardedSnapshotQueryService",
+    "ShardedStats",
+]
+
+#: Metadata key under which the coordinator persists its own manifest
+#: (shard count, router, committed low-watermark, cross-shard tracker log).
+_COORDINATOR_MANIFEST_KEY = "coordinator-manifest"
 
 
 @dataclass(frozen=True, slots=True)
@@ -133,6 +148,11 @@ class ShardedReachabilityService:
         )
         self._policies = [make_policy(shard_config) for _ in range(num_shards)]
         self._cache = QueryResultCache(self.streaming_config.query_cache_size)
+        # The coordinator's own device holds what no shard can reconstruct:
+        # the cross-shard contact log and the committed global low-watermark.
+        self._storage = StorageSystem(
+            storage_config, name=f"{name}-coordinator", attach=False
+        )
         self._queries = 0
         self._closed = False
 
@@ -351,21 +371,53 @@ class ShardedReachabilityService:
     # ------------------------------------------------------------------
     # durability (persistent backends)
     # ------------------------------------------------------------------
+    def _coordinator_manifest(self) -> dict:
+        return {
+            "shards": self.num_shards,
+            "router": self.router.name,
+            "low_watermark": self._ingestor.low_watermark,
+            "watermarks": list(self._ingestor.watermarks),
+            "distance_threshold": self.contact_config.distance_threshold,
+            "tracker": self._ingestor.tracker.manifest(),
+        }
+
     def flush(self) -> None:
-        """Persist every shard's queryable state (no-op on the sim backend)."""
+        """Persist the sharded state durably (a no-op on the sim backend).
+
+        Every shard flushes first (each shard's own manifest is its commit
+        point); only then is the coordinator manifest — shard count, router,
+        committed low-watermark, and the cross-shard contact log — written
+        and flushed.  A crash between the two steps leaves the shards
+        durably *ahead* of the coordinator manifest, never behind it, and
+        :meth:`ShardedSnapshotQueryService.open` clips at the committed low,
+        so the window is recoverable.
+        """
         for shard in self._shards:
             shard.flush()
+        crash_point("sharded-flush-post-shards")
+        self._storage.put_metadata(
+            _COORDINATOR_MANIFEST_KEY, self._coordinator_manifest()
+        )
+        self._storage.flush()
 
     def close(self) -> None:
-        """Flush and release every shard's storage systems.  Idempotent.
+        """Flush and release every storage system.  Idempotent.
 
+        Everything is made durable by the initial :meth:`flush` *before* any
+        shard's device is released, so a crash between per-shard closes
+        loses nothing — the not-yet-closed shards are already flushed.
         Afterwards the coordinator must not ingest or answer queries (the
-        cache is dropped so a closed service cannot serve stale answers).
+        cache is dropped so a closed service cannot serve stale answers);
+        with a persistent backend the state reopens via
+        :meth:`ShardedSnapshotQueryService.open`.
         """
         if self._closed:
             return
+        self.flush()
         for shard in self._shards:
             shard.close()
+            crash_point("shard-close")
+        self._storage.close()
         self._cache.clear()
         self._closed = True
 
@@ -400,6 +452,11 @@ class ShardedReachabilityService:
     def query_cache(self) -> QueryResultCache:
         """The coordinator's query-result cache (hit/miss/generation counters)."""
         return self._cache
+
+    @property
+    def storage(self) -> StorageSystem:
+        """The coordinator's own storage system (manifest + cross-shard log)."""
+        return self._storage
 
     @property
     def low_watermark(self) -> Optional[TimeInstant]:
@@ -448,4 +505,193 @@ class ShardedReachabilityService:
             f"ShardedReachabilityService(name={self.name!r}, "
             f"shards={self.num_shards}, router={self.router.name!r}, "
             f"low_watermark={self.low_watermark}, merges={self.num_merges})"
+        )
+
+
+class ShardedSnapshotQueryService:
+    """A read-only sharded service reopened from persistent storage.
+
+    The sharded counterpart of
+    :class:`~repro.streaming.service.SnapshotQueryService`: every shard's
+    overlay (snapshot runs, delta, open contacts) is reopened through the
+    unsharded restore path, the cross-shard contact log is materialized from
+    the coordinator manifest, and queries run the same fan-out/clip/sweep as
+    the live coordinator — answered through the *committed* global
+    low-watermark.  Shards may have flushed state past that low (a crash can
+    land between the per-shard flushes and the coordinator manifest write);
+    clipping at the committed low keeps answers bit-identical to the batch
+    reference over the prefix the coordinator actually promised.
+    """
+
+    def __init__(
+        self,
+        storage: StorageSystem,
+        shards: Sequence[SnapshotQueryService],
+        cross_contacts: Sequence[Contact],
+        low_watermark: Optional[TimeInstant],
+        watermarks: Tuple[Optional[TimeInstant], ...],
+    ) -> None:
+        self._storage = storage
+        self._shards = list(shards)
+        self._cross_contacts = list(cross_contacts)
+        self._low_watermark = low_watermark
+        self._watermarks = watermarks
+        self._queries = 0
+
+    @classmethod
+    def open(
+        cls, storage_config: StorageConfig, name: str = "sharded-stream"
+    ) -> "ShardedSnapshotQueryService":
+        """Reopen the persisted state of the sharded service named ``name``.
+
+        ``storage_config`` must use a persistent backend and the same
+        ``storage_dir`` the original service wrote to.  The coordinator
+        device is looked up as ``<name>-coordinator``, the shard overlays as
+        ``<name>-shard<i>-overlay``.
+        """
+        if storage_config.backend == "sim" or storage_config.storage_dir is None:
+            raise StreamingError(
+                "reopening needs a persistent backend and a real storage_dir"
+            )
+        suffix = BACKEND_FILE_SUFFIX[storage_config.backend]
+        device_path = os.path.join(
+            storage_config.storage_dir, f"{name}-coordinator{suffix}"
+        )
+        missing = StreamingError(
+            f"no persisted coordinator manifest found for service {name!r} "
+            f"in {storage_config.storage_dir!r} (was the service flushed?)"
+        )
+        if not os.path.exists(device_path + ".manifest"):
+            raise missing
+        storage = StorageSystem(storage_config, name=f"{name}-coordinator")
+        shards: List[SnapshotQueryService] = []
+        # One guard over the whole restore: a corrupt manifest or a failed
+        # shard reopen must not leak the devices opened so far.
+        try:
+            manifest = storage.get_metadata(_COORDINATOR_MANIFEST_KEY)
+            if manifest is None:
+                raise missing
+            for index in range(manifest["shards"]):
+                shards.append(
+                    SnapshotQueryService.open(storage_config, f"{name}-shard{index}")
+                )
+            tracker = manifest["tracker"]
+            cross: List[Contact] = [
+                Contact(first, second, TimeInterval(start, end))
+                for first, second, start, end in tracker["closed"]
+            ]
+            processed = tracker["processed"]
+            if processed is not None:
+                cross.extend(
+                    Contact(first, second, TimeInterval(start, processed))
+                    for first, second, start in tracker["open"]
+                )
+            return cls(
+                storage,
+                shards,
+                cross,
+                manifest["low_watermark"],
+                tuple(manifest["watermarks"]),
+            )
+        except BaseException:
+            for shard in shards:
+                shard.close()
+            storage.close()
+            raise
+
+    def query(self, query: ReachabilityQuery) -> QueryResult:
+        """Answer a query over the committed globally complete prefix."""
+        self._queries += 1
+        cpu_started = time.process_time()
+        interval = query.interval
+        low = self._low_watermark
+        contacts: List[Contact] = []
+        io_total = 0.0
+        random_ios = 0
+        sequential_ios = 0
+        if low is not None:
+            for shard in self._shards:
+                shard_storage = shard.storage
+                shard_storage.reset_for_query()
+                io_before = shard_storage.snapshot()
+                collected = shard.overlay.collect_contacts(
+                    interval, open_contacts=shard.open_contacts
+                )
+                io_delta = shard_storage.charge_since(io_before)
+                io_total += io_delta.normalized(shard_storage.config.sequential_cost)
+                random_ios += io_delta.random_reads
+                sequential_ios += io_delta.sequential_reads
+                contacts.extend(
+                    ShardedReachabilityService._clip(collected, low, interval)
+                )
+            contacts.extend(
+                ShardedReachabilityService._clip(
+                    self._cross_contacts, low, interval
+                )
+            )
+
+        if query.source == query.destination:
+            reachable, earliest = True, interval.start
+        else:
+            arrival = earliest_arrival(
+                contacts, query.source, interval, destination=query.destination
+            )
+            earliest = arrival.get(query.destination)
+            reachable = earliest is not None
+
+        return QueryResult(
+            reachable=reachable,
+            earliest_time=earliest,
+            io=io_total,
+            random_ios=random_ios,
+            sequential_ios=sequential_ios,
+            cpu_seconds=time.process_time() - cpu_started,
+            visited=len(contacts),
+        )
+
+    @property
+    def num_shards(self) -> int:
+        """Number of reopened shard overlays."""
+        return len(self._shards)
+
+    @property
+    def shard_services(self) -> List[SnapshotQueryService]:
+        """The reopened per-shard query services, in shard order."""
+        return list(self._shards)
+
+    @property
+    def cross_shard_contacts(self) -> List[Contact]:
+        """The restored cross-shard contacts (committed prefix only)."""
+        return list(self._cross_contacts)
+
+    @property
+    def low_watermark(self) -> Optional[TimeInstant]:
+        """The committed global low-watermark answers are clipped at."""
+        return self._low_watermark
+
+    @property
+    def watermark(self) -> Optional[TimeInstant]:
+        """Alias for :attr:`low_watermark` (the single-service interface)."""
+        return self._low_watermark
+
+    @property
+    def watermarks(self) -> Tuple[Optional[TimeInstant], ...]:
+        """Per-shard watermarks as of the committed coordinator manifest."""
+        return self._watermarks
+
+    @property
+    def storage(self) -> StorageSystem:
+        """The reopened coordinator storage system."""
+        return self._storage
+
+    def close(self) -> None:
+        """Release every reopened device (the state stays on disk)."""
+        for shard in self._shards:
+            shard.close()
+        self._storage.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedSnapshotQueryService(shards={self.num_shards}, "
+            f"low_watermark={self._low_watermark})"
         )

@@ -38,10 +38,16 @@ from ..core.types import (
 from ..baselines.reference import earliest_arrival
 from ..contacts.network import Contact, ContactNetwork
 from ..storage import BlockFile, StorageSystem
+from ..testing.faults import crash_point
 from ..trajectory.model import TrajectoryDataset
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from ..reachgraph import DagPatch, GraphFrontier, ReachGraphQueryProcessor
+    from ..reachgraph import (
+        DagPatch,
+        GraphFrontier,
+        ReachGraphIndex,
+        ReachGraphQueryProcessor,
+    )
 
 __all__ = [
     "DeltaGraph",
@@ -63,17 +69,21 @@ class SnapshotArtifacts:
     in a background thread) and adopted atomically by
     :meth:`ReachGraphDeltaOverlay.adopt_increment`.
 
-    Exactly one of ``processor`` / ``graph_patch`` is set when the merge
-    carries a ReachGraph fast path: ``processor`` is a complete freshly built
-    index (graph-rebuild mode, or the very first merge), ``graph_patch`` is
-    the incremental-mode alternative — a pure description of how the frozen
-    ticks extend the *live* index, applied in place at adoption time.  Both
-    are ``None`` for services that skip the fast path.
+    Exactly one of ``processor`` / ``graph_patch`` / ``pending_index`` is set
+    when the merge carries a ReachGraph fast path: ``processor`` is a complete
+    freshly built and placed index, ``pending_index`` is its deferred-placement
+    variant — built in memory (graph-rebuild mode, or the very first merge)
+    and written onto the overlay's own device at adoption time so the graph
+    survives a close/reopen cycle — and ``graph_patch`` is the
+    incremental-mode alternative: a pure description of how the frozen ticks
+    extend the *live* index, applied in place at adoption time.  All three are
+    ``None`` for services that skip the fast path.
     """
 
     network: ContactNetwork
     processor: Optional["ReachGraphQueryProcessor"]
     graph_patch: Optional["DagPatch"] = None
+    pending_index: Optional["ReachGraphIndex"] = None
 
 
 class DeltaGraph:
@@ -219,6 +229,10 @@ class ContactSnapshotStore:
             for index in run.file.extent_keys():
                 merged.setdefault(index, []).extend(run.file.read_extent(index))
         run = self._write_run(merged)
+        # The consolidated run is written but the old runs are still live: a
+        # crash here must reopen through the previous manifest, which only
+        # names the old runs (the new file is unreferenced garbage).
+        crash_point("compaction-mid")
         self._superseded_blocks += superseded
         self._runs = [run]
         self._compactions += 1
@@ -341,6 +355,7 @@ class ReachGraphDeltaOverlay:
         self._processor = None  # ReachGraphQueryProcessor over the snapshot
         self._snapshot_watermark: Optional[TimeInstant] = None
         self._version = 0
+        self._graph_version = 0
         # ReachGraph write-amplification ledger (mirrors the snapshot store's
         # records ledger): vertex records ever written by builds/increments,
         # full rebuilds performed, and partition blocks superseded by rewrites
@@ -399,10 +414,16 @@ class ReachGraphDeltaOverlay:
         if build_reachgraph:
             from ..reachgraph import ReachGraphIndex, ReachGraphQueryProcessor
 
+            # Placed on this overlay's own storage system (versioned so
+            # successive installs never collide on a file name), which is
+            # what lets close/reopen restore the graph fast path.
+            self._graph_version += 1
             index = ReachGraphIndex(
                 dataset,
                 contact_config=None,
                 contact_network=self._network,
+                storage=self._storage,
+                name=f"graph-v{self._graph_version}",
             ).build()
             self._processor = ReachGraphQueryProcessor(index)
             self._graph_records_written += index.records_written
@@ -448,6 +469,20 @@ class ReachGraphDeltaOverlay:
                 contact_network=artifacts.network,
             )
             self._graph_records_written += report.records_written
+        elif artifacts.pending_index is not None:
+            from ..reachgraph import ReachGraphQueryProcessor
+
+            # The deferred build ran off-thread against no storage; place it
+            # on this overlay's device here, on the adopting thread, under a
+            # versioned name so successive graph rebuilds never collide.
+            self._retire_processor()
+            self._graph_version += 1
+            artifacts.pending_index.place(
+                self._storage, name=f"graph-v{self._graph_version}"
+            )
+            self._processor = ReachGraphQueryProcessor(artifacts.pending_index)
+            self._graph_records_written += artifacts.pending_index.records_written
+            self._graph_rebuilds += 1
         else:
             self._retire_processor()
             self._processor = artifacts.processor
@@ -512,9 +547,40 @@ class ReachGraphDeltaOverlay:
         self._snapshot_watermark = watermark
 
     def restore_delta(self, contacts: Iterable[Contact]) -> None:
-        """Re-add persisted delta contacts verbatim (they are already clipped)."""
+        """Replace the delta with persisted contacts (they are already clipped)."""
+        self._delta.clear()
         for contact in contacts:
             self._delta.add(contact)
+
+    def graph_catalog(self) -> Optional[Dict[str, object]]:
+        """Manifest fragment describing the persisted graph fast path.
+
+        ``None`` when no fast path exists or when the live index sits on a
+        storage system other than this overlay's own (a processor someone
+        attached out-of-band cannot be reopened from this device).
+        """
+        if self._processor is None:
+            return None
+        index = self._processor.index
+        if not index.is_placed or index.storage is not self._storage:
+            return None
+        return {"index": index.catalog(), "version": self._graph_version}
+
+    def attach_graph(
+        self,
+        processor: "ReachGraphQueryProcessor",
+        network: ContactNetwork,
+        version: int,
+    ) -> None:
+        """Adopt a restored graph fast path (reopen path).
+
+        ``network`` is the snapshot prefix's contact network — the fast-path
+        applicability check reads its dataset — and ``version`` resumes the
+        graph file-name counter so later rebuilds never collide on a name.
+        """
+        self._processor = processor
+        self._network = network
+        self._graph_version = version
 
     # ------------------------------------------------------------------
     # introspection (merge policies read these)

@@ -39,6 +39,9 @@ from .events import SampleEvent, StreamBatch
 
 __all__ = ["StreamIngestor"]
 
+#: Metadata key under which the ingestor checkpoints its WAL position.
+_INGEST_CHECKPOINT_KEY = "ingest-checkpoint"
+
 #: On-disk record of one streamed sample: (object_id, t, x, y) — identical to
 #: the batch ReachGrid record layout so readers need not care who wrote it.
 SampleRecord = Tuple[ObjectId, TimeInstant, float, float]
@@ -57,15 +60,33 @@ class StreamIngestor:
         grid_config: ReachGridConfig | None = None,
         storage_config: StorageConfig | None = None,
         name: str = "stream",
+        storage: StorageSystem | None = None,
     ) -> None:
         if environment_size[0] <= 0 or environment_size[1] <= 0:
             raise StreamingError("environment size must be positive in both axes")
         self.environment_size = (float(environment_size[0]), float(environment_size[1]))
         self.contact_config = contact_config or ContactConfig()
         self.grid_config = grid_config or ReachGridConfig()
-        self.storage = StorageSystem(storage_config, name=f"{name}-grid", attach=False)
         self.name = name
-        self._cells_file = self.storage.new_blockfile(f"{name}-grid-cells")
+        if storage is not None:
+            # The resume path (:meth:`restore`): reattach to the previous
+            # incarnation's device and its cataloged files instead of
+            # creating fresh ones (attach=False would delete them).
+            self.storage = storage
+            self._cells_file = self.storage.blockfile(f"{name}-grid-cells")
+            self._journal = self.storage.blockfile(f"{name}-journal")
+        else:
+            self.storage = StorageSystem(
+                storage_config, name=f"{name}-grid", attach=False
+            )
+            self._cells_file = self.storage.new_blockfile(f"{name}-grid-cells")
+            self._journal = self.storage.new_blockfile(f"{name}-journal")
+
+        # WAL position: batches journaled so far, and (during replay) how
+        # many grid intervals the previous incarnation already flushed.
+        self._journal_entries = 0
+        self._replaying = False
+        self._flushed_floor = 0
 
         # Stream position: the origin tick (set by the first batch), the
         # watermark (last complete tick), and per-tick pending positions.
@@ -140,6 +161,17 @@ class StreamIngestor:
         started = time.perf_counter()
         if not prevalidated:
             self.validate_batch(batch)
+        if not self._replaying:
+            # Journal the batch before mutating state: every accepted batch
+            # is re-ingestable from the WAL once a checkpoint names it.
+            self._journal.append_extent(
+                (self._journal_entries, batch.watermark),
+                [
+                    (event.object_id, event.time, event.position.x, event.position.y)
+                    for event in batch.samples
+                ],
+            )
+            self._journal_entries += 1
         for event in batch.samples:
             self._buffer_sample(event)
         self._advance_watermark(batch.watermark)
@@ -237,11 +269,104 @@ class StreamIngestor:
             if interval_end > self._watermark:
                 break
             cells = self._memtable.pop(interval_index)
+            if self._flushed_intervals < self._flushed_floor:
+                # Journal replay: this interval's cells are already cataloged
+                # on the device from the previous incarnation — re-appending
+                # would collide with the restored extents.
+                self._flushed_intervals += 1
+                continue
             for col_row in sorted(cells):
                 records = sorted(cells[col_row], key=lambda r: (r[1], r[0]))
                 key: CellKey = (interval_index, col_row[0], col_row[1])
                 self._cells_file.append_extent(key, records)
             self._flushed_intervals += 1
+
+    # ------------------------------------------------------------------
+    # durability (WAL checkpoint + replay)
+    # ------------------------------------------------------------------
+    def _checkpoint(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "environment_size": self.environment_size,
+            "distance_threshold": self.contact_config.distance_threshold,
+            "temporal_resolution": self.grid_config.temporal_resolution,
+            "spatial_resolution": self.grid_config.spatial_resolution,
+            "journal_entries": self._journal_entries,
+            "flushed_intervals": self._flushed_intervals,
+        }
+
+    def flush(self) -> None:
+        """Make everything ingested so far durable (no-op on the sim backend).
+
+        Writes the WAL checkpoint — the grid geometry plus how many journaled
+        batches and flushed grid intervals are committed — into the device
+        metadata and flushes the device.  The checkpoint and the storage
+        catalog land in the same atomic manifest write, so a restored device
+        always pairs a checkpoint with exactly the extents it names:
+        :meth:`restore` re-ingests the journaled batches to rebuild the
+        in-memory join state, positions, and memtable.
+        """
+        self.storage.put_metadata(_INGEST_CHECKPOINT_KEY, self._checkpoint())
+        self.storage.flush()
+
+    @classmethod
+    def restore(
+        cls, storage_config: StorageConfig | None, name: str = "stream"
+    ) -> "StreamIngestor":
+        """Reattach to a flushed ingestor device and replay its WAL.
+
+        Reopens ``<name>-grid`` from ``storage_config``, reads the checkpoint
+        written by :meth:`flush`, and re-ingests every journaled batch it
+        names — rebuilding the open-contact join state, the position buffers,
+        and the grid memtable exactly as they were at the checkpoint.  Raises
+        :class:`~repro.core.errors.StreamingError` when no checkpoint exists
+        (the service never flushed).
+        """
+        storage = StorageSystem(storage_config, name=f"{name}-grid")
+        try:
+            checkpoint = storage.get_metadata(_INGEST_CHECKPOINT_KEY)
+            if checkpoint is None:
+                raise StreamingError(
+                    f"no ingest checkpoint found for service {name!r} "
+                    "(was the service flushed?)"
+                )
+            ingestor = cls(
+                tuple(checkpoint["environment_size"]),
+                contact_config=ContactConfig(
+                    distance_threshold=checkpoint["distance_threshold"]
+                ),
+                grid_config=ReachGridConfig(
+                    temporal_resolution=checkpoint["temporal_resolution"],
+                    spatial_resolution=checkpoint["spatial_resolution"],
+                ),
+                name=name,
+                storage=storage,
+            )
+            ingestor._replay_journal(
+                checkpoint["journal_entries"], checkpoint["flushed_intervals"]
+            )
+            return ingestor
+        except BaseException:
+            storage.close()
+            raise
+
+    def _replay_journal(self, entries: int, flushed_intervals: int) -> None:
+        self._replaying = True
+        self._flushed_floor = flushed_intervals
+        try:
+            for key in self._journal.extent_keys():
+                seq, watermark = key
+                if seq >= entries:
+                    break  # past the checkpoint: not durably committed
+                samples = tuple(
+                    SampleEvent(object_id, t, Point(x, y))
+                    for object_id, t, x, y in self._journal.read_extent(key)
+                )
+                self.ingest(StreamBatch(samples, watermark), prevalidated=True)
+        finally:
+            self._replaying = False
+            self._flushed_floor = 0
+        self._journal_entries = entries
 
     # ------------------------------------------------------------------
     # stream position and contact views

@@ -32,6 +32,7 @@ from ..core.errors import StreamingError
 from ..core.types import QueryResult, ReachabilityQuery, TimeInstant, TimeInterval
 from ..contacts.network import Contact, ContactNetwork
 from ..storage import BACKEND_FILE_SUFFIX, StorageSystem
+from ..testing.faults import crash_point
 from ..trajectory.model import TrajectoryDataset
 from .delta import ContactSnapshotStore, ReachGraphDeltaOverlay, SnapshotArtifacts
 from .events import SampleEvent, StreamBatch
@@ -215,7 +216,7 @@ def build_snapshot_artifacts(inputs: MergeInputs) -> SnapshotArtifacts:
     :meth:`StreamingReachabilityService.adopt_merge`.
     """
     network = ContactNetwork(inputs.prefix, inputs.contacts, inputs.distance_threshold)
-    processor = None
+    pending_index = None
     graph_patch = None
     if inputs.build_reachgraph:
         if inputs.graph_frontier is not None:
@@ -225,16 +226,22 @@ def build_snapshot_artifacts(inputs: MergeInputs) -> SnapshotArtifacts:
                 inputs.graph_frontier, inputs.new_contacts, inputs.bound
             )
         else:
-            from ..reachgraph import ReachGraphIndex, ReachGraphQueryProcessor
+            from ..reachgraph import ReachGraphIndex
 
-            index = ReachGraphIndex(
+            # Deferred placement: the build runs in memory (possibly on a
+            # background thread); the adopting thread later writes it onto
+            # the overlay's own device, where close/reopen can find it.
+            pending_index = ReachGraphIndex(
                 inputs.prefix,
                 contact_config=None,
                 contact_network=network,
+                defer_placement=True,
             ).build()
-            processor = ReachGraphQueryProcessor(index)
     return SnapshotArtifacts(
-        network=network, processor=processor, graph_patch=graph_patch
+        network=network,
+        processor=None,
+        graph_patch=graph_patch,
+        pending_index=pending_index,
     )
 
 
@@ -298,6 +305,8 @@ class StreamingReachabilityService:
         storage_config: StorageConfig | None = None,
         name: str = "stream",
         auto_merge: bool = True,
+        ingestor: StreamIngestor | None = None,
+        overlay: ReachGraphDeltaOverlay | None = None,
     ) -> None:
         self.contact_config = contact_config or ContactConfig()
         self.grid_config = grid_config or ReachGridConfig()
@@ -307,7 +316,10 @@ class StreamingReachabilityService:
         # merges itself, bounded at the global low-watermark.
         self.auto_merge = auto_merge
         self._storage_config = storage_config
-        self._ingestor = StreamIngestor(
+        # ``ingestor``/``overlay`` are the resume path (see :meth:`open`):
+        # constructing fresh ones here would attach with ``attach=False``,
+        # which deletes any files the previous incarnation left behind.
+        self._ingestor = ingestor if ingestor is not None else StreamIngestor(
             environment_size,
             contact_config=self.contact_config,
             grid_config=self.grid_config,
@@ -316,12 +328,13 @@ class StreamingReachabilityService:
         )
         # The overlay gets its own storage system so per-query IO accounting
         # is not polluted by the ingestor's ongoing grid writes.
-        self._overlay = ReachGraphDeltaOverlay(
+        self._overlay = overlay if overlay is not None else ReachGraphDeltaOverlay(
             StorageSystem(storage_config, name=f"{name}-overlay", attach=False)
         )
         self._policy = make_policy(self.streaming_config)
         self._cache = QueryResultCache(self.streaming_config.query_cache_size)
         self._consumed_closed = 0
+        self._restage_cursor = 0
         self._intervals_at_merge = 0
         self._batches = 0
         self._merges = 0
@@ -353,6 +366,65 @@ class StreamingReachabilityService:
             storage_config=storage_config,
             name=f"{dataset.name}-stream",
         )
+
+    @classmethod
+    def open(
+        cls,
+        storage_config: StorageConfig,
+        name: str = "stream",
+        streaming_config: StreamingConfig | None = None,
+        auto_merge: bool = True,
+    ) -> "StreamingReachabilityService":
+        """Resume a flushed (or killed) service: reopen state, keep ingesting.
+
+        The full-resume counterpart of the read-only
+        :meth:`SnapshotQueryService.open`: the overlay (snapshot runs, graph
+        fast path) is restored from the overlay device, the ingestor replays
+        its WAL from the grid device — rebuilding the open-contact join,
+        position buffers, and grid memtable — and the delta is rebuilt from
+        the replayed closed contacts, so the service continues ingesting and
+        merging from the recovered watermark.  The WAL is authoritative: a
+        crash between the ingestor flush and the overlay (manifest) flush
+        leaves the WAL ahead, and resuming recovers those batches too.
+        """
+        reopened = SnapshotQueryService.open(storage_config, name)
+        try:
+            ingestor = StreamIngestor.restore(storage_config, name)
+        except BaseException:
+            reopened.close()
+            raise
+        service = cls(
+            environment_size=ingestor.environment_size,
+            contact_config=ingestor.contact_config,
+            grid_config=ingestor.grid_config,
+            streaming_config=streaming_config,
+            storage_config=storage_config,
+            name=name,
+            auto_merge=auto_merge,
+            ingestor=ingestor,
+            overlay=reopened.overlay,
+        )
+        service._resume_from_recovered_state()
+        return service
+
+    def _resume_from_recovered_state(self) -> None:
+        # The WAL-replayed ingestor is authoritative for everything unfrozen:
+        # discard the manifest's delta (it may trail the WAL) and restage the
+        # closed contacts extending past the snapshot watermark.
+        bound = self._overlay.snapshot_watermark
+        closed = self._ingestor.closed_contacts
+        frozen = 0
+        if bound is not None:
+            for contact in closed:
+                if contact.validity.end > bound:
+                    break
+                frozen += 1
+        self._overlay.restore_delta(())
+        for contact in closed[frozen:]:
+            self._overlay.add_contact(contact)
+        self._restage_cursor = frozen
+        self._consumed_closed = len(closed)
+        self._intervals_at_merge = self._ingestor.num_flushed_intervals
 
     # ------------------------------------------------------------------
     # ingestion
@@ -434,7 +506,9 @@ class StreamingReachabilityService:
         method simply runs them back to back.
         """
         inputs = self.prepare_merge(through=through)
-        self.adopt_merge(build_merge(inputs, self._storage_config), inputs)
+        build = build_merge(inputs, self._storage_config)
+        crash_point("merge-pre-adopt")
+        self.adopt_merge(build, inputs)
 
     def prepare_merge(self, through: Optional[TimeInstant] = None) -> MergeInputs:
         """Capture the frozen prefix a merge would fold into a snapshot.
@@ -560,9 +634,20 @@ class StreamingReachabilityService:
             previous.storage.destroy()
 
     def _finish_adopt(self, bound: TimeInstant) -> None:
-        for contact in self._ingestor.closed_contacts:
+        # Closed contacts are produced with non-decreasing end instants, so
+        # everything before the restage cursor is frozen below every bound a
+        # later merge can use — only the tail needs rescanning.  (Restaging
+        # the full history here was quadratic on long streams and, in LSM
+        # mode, re-added contacts the snapshot store already held.)
+        tail = self._ingestor.closed_contacts_since(self._restage_cursor)
+        frozen = 0
+        for contact in tail:
             if contact.validity.end > bound:
-                self._overlay.add_contact(contact)
+                break
+            frozen += 1
+        self._restage_cursor += frozen
+        for contact in tail[frozen:]:
+            self._overlay.add_contact(contact)
         self._consumed_closed = self._ingestor.num_closed_contacts
         self._intervals_at_merge = self._ingestor.num_flushed_intervals
         self._merges += 1
@@ -601,23 +686,32 @@ class StreamingReachabilityService:
             "store": None if store is None else store.manifest(),
             "delta": records(self._overlay.delta_contacts),
             "open": records(self._ingestor.open_contacts()),
+            "graph": self._overlay.graph_catalog(),
         }
 
     def flush(self) -> None:
         """Persist the queryable state durably (a no-op on the sim backend).
 
         Writes the overlay manifest — snapshot-store run directory, buffered
-        delta contacts, open contact runs, watermark — into the overlay
-        storage system's metadata and flushes both storage systems, so a
-        crash after this point loses nothing:
+        delta contacts, open contact runs, watermark, graph catalog — into
+        the overlay storage system's metadata and flushes both storage
+        systems, so a crash after this point loses nothing:
         :meth:`SnapshotQueryService.open` can reconstruct a service answering
-        bit-identically at the flushed watermark.
+        bit-identically at the flushed watermark, and
+        :meth:`StreamingReachabilityService.open` can resume ingesting.
+
+        The overlay flush is the commit point: the ingestor's device (whose
+        journal checkpoint the manifest's watermark leans on) is flushed
+        *first*, so a crash between the two flushes leaves the ingestor
+        durably ahead of the manifest — recoverable — never behind it.
         """
+        self._ingestor.flush()
+        crash_point("flush-post-ingestor")
         self._overlay.storage.put_metadata(
             _OVERLAY_MANIFEST_KEY, self._overlay_manifest()
         )
+        crash_point("flush-post-manifest")
         self._overlay.storage.flush()
-        self._ingestor.storage.flush()
 
     def close(self) -> None:
         """Flush and release both storage systems.  Idempotent.
@@ -738,15 +832,16 @@ class StreamingReachabilityService:
 class SnapshotQueryService:
     """A read-only service reopened from a closed persistent storage system.
 
-    The ingest side of a streaming service is inherently in-memory (position
-    buffers, the incremental join); what :meth:`StreamingReachabilityService.flush`
-    makes durable is the *queryable* state — snapshot contact runs, buffered
-    delta contacts, open contact runs, and the watermark.  Reopening restores
-    exactly that: queries run through the overlay union path (snapshot runs
-    read from the reopened device, IO charged as usual) and answer
-    bit-identically to the service that was closed, at its final watermark.
-    The ReachGraph fast path is not persisted — it is a pure function of the
-    prefix and can always be rebuilt — so every answer takes the union path.
+    What :meth:`StreamingReachabilityService.flush` makes durable is the
+    *queryable* state — snapshot contact runs, buffered delta contacts, open
+    contact runs, the watermark, and the ReachGraph fast path's partition
+    extents plus catalog.  Reopening restores exactly that: answers are
+    bit-identical to the service that was closed, at its final watermark,
+    and queries the fast path can serve (no delta or open contact overlaps
+    the interval) run through the restored ReachGraph index — the rest take
+    the overlay union path (snapshot runs read from the reopened device, IO
+    charged as usual).  To *resume ingesting* instead of just querying, use
+    :meth:`StreamingReachabilityService.open`.
     """
 
     def __init__(
@@ -792,24 +887,76 @@ class SnapshotQueryService:
         if not os.path.exists(device_path + ".manifest"):
             raise missing
         storage = StorageSystem(storage_config, name=f"{name}-overlay")
-        manifest = storage.get_metadata(_OVERLAY_MANIFEST_KEY)
-        if manifest is None:
+        # Everything after the device is open runs under one guard: a corrupt
+        # manifest must not leak the open device handle (BaseException so even
+        # a SimulatedCrash mid-restore releases it).
+        try:
+            manifest = storage.get_metadata(_OVERLAY_MANIFEST_KEY)
+            if manifest is None:
+                raise missing
+            overlay = ReachGraphDeltaOverlay(storage)
+            store = None
+            if manifest["store"] is not None:
+                store = ContactSnapshotStore.restore(storage, manifest["store"])
+            overlay.attach_snapshot_store(store, manifest["snapshot_watermark"])
+            overlay.restore_delta(
+                Contact(first, second, TimeInterval(start, end))
+                for first, second, start, end in manifest["delta"]
+            )
+            open_contacts = [
+                Contact(first, second, TimeInterval(start, end))
+                for first, second, start, end in manifest["open"]
+            ]
+            if manifest.get("graph") is not None:
+                cls._restore_graph(
+                    storage_config, name, storage, overlay, manifest["graph"]
+                )
+            return cls(storage, overlay, open_contacts, manifest["watermark"])
+        except BaseException:
             storage.close()
-            raise missing
-        overlay = ReachGraphDeltaOverlay(storage)
-        store = None
-        if manifest["store"] is not None:
-            store = ContactSnapshotStore.restore(storage, manifest["store"])
-        overlay.attach_snapshot_store(store, manifest["snapshot_watermark"])
-        overlay.restore_delta(
-            Contact(first, second, TimeInterval(start, end))
-            for first, second, start, end in manifest["delta"]
+            raise
+
+    @staticmethod
+    def _restore_graph(
+        storage_config: StorageConfig,
+        name: str,
+        storage: StorageSystem,
+        overlay: ReachGraphDeltaOverlay,
+        catalog: dict,
+    ) -> None:
+        """Reattach the persisted ReachGraph fast path to ``overlay``.
+
+        The graph's partition extents live on the overlay device; the prefix
+        dataset and contact network they describe are rebuilt by replaying
+        the ingestor's WAL up to the snapshot watermark (both are pure
+        in-memory structures, so the grid device is closed again afterwards).
+        Skipped silently when the grid device was never flushed — the union
+        path still answers correctly without the fast path.
+        """
+        suffix = BACKEND_FILE_SUFFIX[storage_config.backend]
+        assert storage_config.storage_dir is not None
+        grid_path = os.path.join(
+            storage_config.storage_dir, f"{name}-grid{suffix}.manifest"
         )
-        open_contacts = [
-            Contact(first, second, TimeInterval(start, end))
-            for first, second, start, end in manifest["open"]
-        ]
-        return cls(storage, overlay, open_contacts, manifest["watermark"])
+        if not os.path.exists(grid_path):
+            return
+        from ..reachgraph import ReachGraphIndex, ReachGraphQueryProcessor
+
+        snapshot_watermark = overlay.snapshot_watermark
+        ingestor = StreamIngestor.restore(storage_config, name)
+        try:
+            prefix = ingestor.prefix_dataset(through=snapshot_watermark)
+            network = ContactNetwork(
+                prefix,
+                tuple(ingestor.contacts_through(snapshot_watermark)),
+                ingestor.contact_config.distance_threshold,
+            )
+        finally:
+            ingestor.storage.close()
+        index = ReachGraphIndex.restore(storage, catalog["index"], prefix, network)
+        overlay.attach_graph(
+            ReachGraphQueryProcessor(index), network, catalog["version"]
+        )
 
     def query(self, query: ReachabilityQuery) -> QueryResult:
         """Answer a query over the persisted prefix (union path, IO charged)."""
@@ -820,6 +967,11 @@ class SnapshotQueryService:
     def watermark(self) -> Optional[TimeInstant]:
         """The watermark the persisted state answers through."""
         return self._watermark
+
+    @property
+    def open_contacts(self) -> List[Contact]:
+        """The restored still-open contact runs (clipped at the watermark)."""
+        return list(self._open_contacts)
 
     @property
     def overlay(self) -> ReachGraphDeltaOverlay:

@@ -126,6 +126,25 @@ class CrossShardContactTracker:
         """Every cross-shard contact of the globally complete prefix."""
         return self._closed + self.open_contacts()
 
+    def manifest(self) -> dict:
+        """JSON-ready record of the joined prefix, for the coordinator manifest.
+
+        Pending (not-yet-joined) ticks are deliberately excluded: they are
+        not part of the globally complete prefix, and on resume the shards'
+        own WALs are authoritative for everything past ``processed``.
+        """
+        return {
+            "origin": self._origin,
+            "processed": self._processed,
+            "closed": [
+                (c.first, c.second, c.validity.start, c.validity.end)
+                for c in self._closed
+            ],
+            "open": [
+                (pair[0], pair[1], start) for pair, start in self._open.items()
+            ],
+        }
+
 
 class ShardedStreamIngestor:
     """Partitions one event stream across N shard ingestors.

@@ -1,0 +1,109 @@
+"""Crash-injection fault points for recovery testing.
+
+Production code calls :func:`crash_point` at the handful of places where a
+``kill -9`` would be most damaging (between a manifest write and the device
+flush, between the build and adopt halves of a merge, mid-compaction, between
+per-shard closes).  The call is a dictionary-membership check when nothing is
+armed, so leaving the probes in shipped code costs nothing.
+
+Tests arm a point by name — optionally "after N hits" so a probe inside a
+loop can fire on a chosen iteration — and the probe raises
+:class:`SimulatedCrash`.  A simulated crash deliberately unwinds *without*
+flushing anything: pairing it with :func:`simulate_kill` (which discards the
+service's devices the way the kernel would on SIGKILL) leaves on disk exactly
+what a real crash would leave.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+__all__ = [
+    "KNOWN_FAULT_POINTS",
+    "SimulatedCrash",
+    "arm",
+    "armed",
+    "clear",
+    "crash_point",
+    "disarm",
+    "simulate_kill",
+]
+
+
+class SimulatedCrash(BaseException):
+    """Raised by an armed :func:`crash_point`.
+
+    Derives from ``BaseException`` so ordinary ``except Exception`` cleanup
+    handlers — which a real ``kill -9`` would never run — do not swallow it.
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"simulated crash at fault point {point!r}")
+        self.point = point
+
+
+#: Every fault point compiled into production code.  ``arm`` validates
+#: against this so a typo in a test arms a real probe or fails loudly.
+KNOWN_FAULT_POINTS: Tuple[str, ...] = (
+    "flush-post-ingestor",
+    "flush-post-manifest",
+    "merge-pre-adopt",
+    "compaction-mid",
+    "shard-close",
+    "sharded-flush-post-shards",
+)
+
+_armed: Dict[str, int] = {}
+
+
+def arm(point: str, after: int = 0) -> None:
+    """Arm ``point``; the probe raises on its ``after + 1``-th hit."""
+    if point not in KNOWN_FAULT_POINTS:
+        raise ValueError(
+            f"unknown fault point {point!r}; known points: {KNOWN_FAULT_POINTS}"
+        )
+    if after < 0:
+        raise ValueError("after must be >= 0")
+    _armed[point] = after
+
+
+def disarm(point: str) -> None:
+    """Disarm ``point`` if armed (no-op otherwise)."""
+    _armed.pop(point, None)
+
+
+def clear() -> None:
+    """Disarm every fault point."""
+    _armed.clear()
+
+
+def armed() -> Tuple[str, ...]:
+    """Names of currently armed fault points (order unspecified)."""
+    return tuple(_armed)
+
+
+def crash_point(point: str) -> None:
+    """Raise :class:`SimulatedCrash` if ``point`` is armed (else no-op)."""
+    remaining = _armed.get(point)
+    if remaining is None:
+        return
+    if remaining > 0:
+        _armed[point] = remaining - 1
+        return
+    del _armed[point]
+    raise SimulatedCrash(point)
+
+
+def simulate_kill(*storages: object) -> None:
+    """Drop the given storage systems' devices as ``kill -9`` would.
+
+    Each argument is a :class:`~repro.storage.StorageSystem` (or anything
+    with a ``.disk`` exposing ``discard()``).  ``discard`` closes the device
+    handle without the final flush, so the on-disk state is whatever earlier
+    explicit flushes made durable — exactly the post-SIGKILL picture.
+    """
+    for storage in storages:
+        disk = getattr(storage, "disk", storage)
+        discard = getattr(disk, "discard", None)
+        if discard is not None:
+            discard()

@@ -47,6 +47,21 @@ def pytest_addoption(parser):
     )
 
 
+@pytest.fixture(autouse=True)
+def _disarm_fault_points():
+    """Leave no fault point armed across tests.
+
+    The crash-injection registry (:mod:`repro.testing.faults`) is process
+    global; a test that arms a point and then fails before the probe fires
+    must not leak a pending ``SimulatedCrash`` into an unrelated test.
+    """
+    from repro.testing import faults
+
+    faults.clear()
+    yield
+    faults.clear()
+
+
 def pytest_generate_tests(metafunc):
     """Parametrize every ``graph_mode`` test, honouring the --graph-mode flag.
 

@@ -36,6 +36,7 @@ __all__ = [
     "prefix_network",
     "reference_evaluator",
     "assert_methods_agree",
+    "assert_reopened_matches_prefix",
 ]
 
 Evaluator = Callable[[ReachabilityQuery], QueryResult]
@@ -132,4 +133,32 @@ def assert_methods_agree(
     assert not disagreements, (
         f"{len(disagreements)} disagreement(s) with the reference evaluator"
         f"{suffix}:\n" + "\n".join(disagreements)
+    )
+
+
+def assert_reopened_matches_prefix(
+    reopened,
+    dataset: TrajectoryDataset,
+    threshold: float,
+    queries: Iterable[ReachabilityQuery],
+    context: str = "",
+) -> None:
+    """The close/reopen axis of the equivalence contract, in one call.
+
+    ``reopened`` is any read-only restored service (unsharded
+    ``SnapshotQueryService``, ``ShardedSnapshotQueryService``, or the result
+    of ``AsyncReachabilityService.reopen``): whatever watermark it reports is
+    the prefix it promised, and every answer must match the batch reference
+    evaluator over exactly that prefix.  Earliest reach times are compared
+    whenever the service reports them, but not *required* — a reopened
+    service whose delta is empty answers through the restored ReachGraph
+    fast path, whose bidirectional traversal legitimately omits them.
+    """
+    network = prefix_network(dataset, threshold, through=reopened.watermark)
+    assert_methods_agree(
+        reference_evaluator(network),
+        {"reopened": reopened.query},
+        queries,
+        check_earliest=True,
+        context=context or f"reopened at watermark {reopened.watermark}",
     )

@@ -1,0 +1,786 @@
+"""Crash-consistency suite: ``kill -9`` anywhere must be recoverable.
+
+Every test follows the same shape: drive a service over a persistent backend,
+raise a :class:`~repro.testing.faults.SimulatedCrash` at a named fault point
+compiled into the production code, drop the storage devices the way the
+kernel would on SIGKILL (:func:`~repro.testing.faults.simulate_kill` — no
+final flush), and then reopen from whatever earlier explicit flushes made
+durable.  The recovered service must answer bit-identically to the batch
+reference evaluator over the prefix its manifest committed — and the
+full-resume path must keep ingesting from there.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from equivalence import (
+    EQUIVALENCE_BACKENDS,
+    assert_methods_agree,
+    assert_reopened_matches_prefix,
+    backend_storage_config,
+    prefix_network,
+    reference_evaluator,
+)
+from repro.core import (
+    ContactConfig,
+    ReachGraphConfig,
+    ReachGridConfig,
+    StreamingConfig,
+    StreamingError,
+)
+from repro.generators import RandomWaypointGenerator
+from repro.reachgraph import ReachGraphIndex
+from repro.storage import StorageSystem
+from repro.streaming import (
+    AsyncReachabilityService,
+    DatasetReplaySource,
+    ShardedReachabilityService,
+    ShardedSnapshotQueryService,
+    SnapshotQueryService,
+    StreamingReachabilityService,
+)
+from repro.testing import faults
+from repro.testing.faults import SimulatedCrash, simulate_kill
+from repro.workloads.queries import random_queries
+
+THRESHOLD = 30.0
+GRID = ReachGridConfig(temporal_resolution=8, spatial_resolution=60.0)
+CONTACTS = ContactConfig(distance_threshold=THRESHOLD)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return RandomWaypointGenerator(
+        num_objects=20, horizon=60, environment_size=(400.0, 400.0), seed=5
+    ).generate()
+
+
+def make_service(dataset, storage_config, auto_merge=True, **config_overrides):
+    return StreamingReachabilityService.for_dataset(
+        dataset,
+        contact_config=CONTACTS,
+        grid_config=GRID,
+        streaming_config=StreamingConfig(**config_overrides),
+        storage_config=storage_config,
+    )
+
+
+def kill_unsharded(service):
+    simulate_kill(service.overlay.storage, service.ingestor.storage)
+
+
+def kill_sharded(service):
+    for shard in service.shard_services:
+        kill_unsharded(shard)
+    simulate_kill(service.storage)
+
+
+def open_fds():
+    return len(os.listdir("/proc/self/fd"))
+
+
+# ----------------------------------------------------------------------
+# the fault-point registry itself
+# ----------------------------------------------------------------------
+class TestFaultRegistry:
+    def test_unknown_point_is_rejected(self):
+        with pytest.raises(ValueError):
+            faults.arm("no-such-point")
+        with pytest.raises(ValueError):
+            faults.arm("flush-post-manifest", after=-1)
+
+    def test_disarmed_probe_is_a_noop(self):
+        faults.crash_point("flush-post-manifest")  # nothing armed: no raise
+
+    def test_armed_probe_fires_once_then_disarms(self):
+        faults.arm("merge-pre-adopt")
+        assert "merge-pre-adopt" in faults.armed()
+        with pytest.raises(SimulatedCrash) as exc:
+            faults.crash_point("merge-pre-adopt")
+        assert exc.value.point == "merge-pre-adopt"
+        assert faults.armed() == ()
+        faults.crash_point("merge-pre-adopt")  # fired probes disarm themselves
+
+    def test_after_counts_down_hits(self):
+        faults.arm("shard-close", after=2)
+        faults.crash_point("shard-close")
+        faults.crash_point("shard-close")
+        with pytest.raises(SimulatedCrash):
+            faults.crash_point("shard-close")
+
+    def test_simulated_crash_escapes_ordinary_cleanup(self):
+        # Production code cleans up with ``except Exception``; a simulated
+        # kill must not be swallowed by handlers a real SIGKILL never runs.
+        assert not issubclass(SimulatedCrash, Exception)
+
+    def test_every_known_point_is_compiled_into_production_code(self):
+        import repro.streaming.coordinator as coordinator
+        import repro.streaming.delta as delta
+        import repro.streaming.service as service
+        import inspect
+
+        source = "".join(
+            inspect.getsource(module) for module in (coordinator, delta, service)
+        )
+        for point in faults.KNOWN_FAULT_POINTS:
+            assert f'crash_point("{point}")' in source, point
+
+
+# ----------------------------------------------------------------------
+# the flush commit point (satellite: manifest-last ordering)
+# ----------------------------------------------------------------------
+class TestFlushCommitPoint:
+    @pytest.mark.parametrize("point", ("flush-post-ingestor", "flush-post-manifest"))
+    def test_crash_between_flush_halves_leaves_wal_ahead_never_behind(
+        self, point, tmp_path, dataset
+    ):
+        """The manifest write is the commit point: its dependents (ingestor
+        WAL, grid extents) flush first, so a crash anywhere inside flush()
+        leaves the WAL at or past the manifest — the read-only reopen serves
+        the last committed manifest, the full resume recovers the WAL tail."""
+        storage_config = backend_storage_config("file", storage_dir=str(tmp_path))
+        service = make_service(dataset, storage_config, max_delta_contacts=10_000)
+        batches = list(DatasetReplaySource(dataset, batch_ticks=12).batches())
+        for batch in batches[:3]:
+            service.ingest(batch)
+        service.flush()
+        committed = service.watermark
+        for batch in batches[3:]:
+            service.ingest(batch)
+        wal_watermark = service.watermark
+        faults.arm(point)
+        with pytest.raises(SimulatedCrash):
+            service.flush()
+        kill_unsharded(service)
+
+        readonly = SnapshotQueryService.open(storage_config, name=service.name)
+        assert readonly.watermark == committed, (
+            f"{point}: manifest must still be the pre-crash commit point"
+        )
+        assert_reopened_matches_prefix(
+            readonly,
+            dataset,
+            THRESHOLD,
+            random_queries(dataset, count=15, seed=7),
+            context=f"{point}, read-only reopen",
+        )
+        readonly.close()
+
+        resumed = StreamingReachabilityService.open(storage_config, name=service.name)
+        # Both points sit after ingestor.flush(), so the WAL is durable to the
+        # full ingested watermark even though the manifest is not.
+        assert resumed.watermark == wal_watermark
+        assert_methods_agree(
+            reference_evaluator(
+                prefix_network(dataset, THRESHOLD, through=resumed.watermark)
+            ),
+            {"resumed": resumed.query},
+            random_queries(dataset, count=15, seed=7),
+            check_earliest=True,
+            require_earliest=True,
+            context=f"{point}, full resume",
+        )
+        resumed.close()
+
+
+# ----------------------------------------------------------------------
+# crashes inside a merge (pre-adopt) and inside a compaction
+# ----------------------------------------------------------------------
+class TestCrashDuringMerge:
+    def test_crash_between_build_and_adopt_then_resume_ingesting(
+        self, tmp_path, dataset
+    ):
+        storage_config = backend_storage_config("file", storage_dir=str(tmp_path))
+        service = make_service(
+            dataset, storage_config, max_delta_contacts=10_000
+        )
+        service.auto_merge = False
+        batches = list(DatasetReplaySource(dataset, batch_ticks=12).batches())
+        for batch in batches[:3]:
+            service.ingest(batch)
+            service.flush()
+        faults.arm("merge-pre-adopt")
+        with pytest.raises(SimulatedCrash):
+            service.merge()
+        kill_unsharded(service)
+
+        resumed = StreamingReachabilityService.open(
+            storage_config, name=service.name, auto_merge=False
+        )
+        assert resumed.watermark == batches[2].watermark
+        assert resumed.overlay.snapshot_watermark is None, (
+            "the crashed merge must not have adopted anything"
+        )
+        workload = random_queries(dataset, count=12, seed=11)
+        for batch in batches[3:]:
+            resumed.ingest(batch)
+            assert_methods_agree(
+                reference_evaluator(
+                    prefix_network(dataset, THRESHOLD, through=resumed.watermark)
+                ),
+                {"resumed": resumed.query},
+                workload,
+                check_earliest=True,
+                require_earliest=True,
+                context=f"post-crash ingest, watermark={resumed.watermark}",
+            )
+        resumed.merge()  # the disarmed merge path works again after recovery
+        assert resumed.overlay.snapshot_watermark == dataset.horizon.end
+        assert_methods_agree(
+            reference_evaluator(prefix_network(dataset, THRESHOLD)),
+            {"resumed": resumed.query},
+            workload,
+            check_earliest=True,
+            context="post-recovery merge",
+        )
+        resumed.close()
+
+    def test_crash_mid_compaction_recovers_committed_state(self, tmp_path, dataset):
+        storage_config = backend_storage_config("file", storage_dir=str(tmp_path))
+        service = make_service(
+            dataset,
+            storage_config,
+            max_delta_contacts=10_000,
+            compaction_max_runs=1,
+        )
+        service.auto_merge = False
+        batches = list(DatasetReplaySource(dataset, batch_ticks=12).batches())
+        service.ingest(batches[0])
+        service.merge()  # run 1 (no compaction: 1 run <= max_runs)
+        service.ingest(batches[1])
+        service.flush()
+        committed = service.watermark
+        faults.arm("compaction-mid")
+        with pytest.raises(SimulatedCrash):
+            service.merge()  # run 2 appended, compaction rewrites... crash
+        kill_unsharded(service)
+
+        readonly = SnapshotQueryService.open(storage_config, name=service.name)
+        assert readonly.watermark == committed
+        assert_reopened_matches_prefix(
+            readonly,
+            dataset,
+            THRESHOLD,
+            random_queries(dataset, count=15, seed=13),
+            context="mid-compaction crash, read-only reopen",
+        )
+        readonly.close()
+
+        resumed = StreamingReachabilityService.open(storage_config, name=service.name)
+        for batch in batches[2:]:
+            resumed.ingest(batch)
+        resumed.merge()
+        assert_methods_agree(
+            reference_evaluator(prefix_network(dataset, THRESHOLD)),
+            {"resumed": resumed.query},
+            random_queries(dataset, count=15, seed=13),
+            check_earliest=True,
+            context="mid-compaction crash, resumed to horizon",
+        )
+        resumed.close()
+
+
+# ----------------------------------------------------------------------
+# corrupt / missing manifests must not leak handles or files (satellite)
+# ----------------------------------------------------------------------
+class TestCorruptManifestRestore:
+    def test_missing_overlay_metadata_closes_the_probed_device(
+        self, tmp_path, dataset
+    ):
+        """A device file whose manifest never recorded an overlay (e.g. a
+        foreign storage system of the same name) must fail the reopen *and*
+        release the probed device handle."""
+        storage_config = backend_storage_config("file", storage_dir=str(tmp_path))
+        ghost = StorageSystem(storage_config, name="ghost-overlay", attach=False)
+        ghost.flush()
+        ghost.close()
+        files_before = sorted(p.name for p in tmp_path.iterdir())
+        fds_before = open_fds()
+        with pytest.raises(StreamingError):
+            SnapshotQueryService.open(storage_config, name="ghost")
+        assert open_fds() == fds_before, "reopen failure leaked a device handle"
+        assert sorted(p.name for p in tmp_path.iterdir()) == files_before, (
+            "reopen failure scattered junk files into the storage directory"
+        )
+
+    def test_garbage_manifest_contents_close_the_device_on_failure(
+        self, tmp_path, dataset
+    ):
+        storage_config = backend_storage_config("file", storage_dir=str(tmp_path))
+        broken = StorageSystem(storage_config, name="broken-overlay", attach=False)
+        broken.put_metadata("overlay-manifest", {"watermark": 3})  # keys missing
+        broken.flush()
+        broken.close()
+        files_before = sorted(p.name for p in tmp_path.iterdir())
+        fds_before = open_fds()
+        with pytest.raises(KeyError):
+            SnapshotQueryService.open(storage_config, name="broken")
+        assert open_fds() == fds_before, "reopen failure leaked a device handle"
+        assert sorted(p.name for p in tmp_path.iterdir()) == files_before
+
+    def test_sharded_open_with_wrong_name_neither_creates_files_nor_leaks(
+        self, tmp_path
+    ):
+        storage_config = backend_storage_config("file", storage_dir=str(tmp_path))
+        fds_before = open_fds()
+        with pytest.raises(StreamingError):
+            ShardedSnapshotQueryService.open(storage_config, name="no-such-service")
+        assert open_fds() == fds_before
+        assert list(tmp_path.iterdir()) == []
+
+    def test_sharded_open_with_missing_shard_closes_everything(
+        self, tmp_path, dataset
+    ):
+        """A coordinator manifest whose shard devices are gone (partial data
+        loss) must fail the reopen without leaking the handles opened before
+        the failure was noticed."""
+        storage_config = backend_storage_config("file", storage_dir=str(tmp_path))
+        sharded = ShardedReachabilityService.for_dataset(
+            dataset,
+            contact_config=CONTACTS,
+            grid_config=GRID,
+            streaming_config=StreamingConfig(shards=2),
+            storage_config=storage_config,
+        )
+        sharded.drain(dataset)
+        sharded.close()
+        for path in tmp_path.iterdir():
+            if "shard1-overlay" in path.name:
+                path.unlink()
+        fds_before = open_fds()
+        with pytest.raises(StreamingError):
+            ShardedSnapshotQueryService.open(storage_config, name=sharded.name)
+        assert open_fds() == fds_before, "partial sharded reopen leaked handles"
+
+
+# ----------------------------------------------------------------------
+# the restored ReachGraph fast path (tentpole: graph answers, not union)
+# ----------------------------------------------------------------------
+class TestGraphPathRestore:
+    def test_reopened_service_answers_through_a_restored_graph(
+        self, tmp_path, dataset
+    ):
+        storage_config = backend_storage_config("file", storage_dir=str(tmp_path))
+        service = make_service(dataset, storage_config, max_delta_contacts=10_000)
+        service.auto_merge = False
+        service.drain(dataset)
+        service.merge()
+        assert service.overlay.has_reachgraph
+        service.close()
+
+        reopened = SnapshotQueryService.open(storage_config, name=service.name)
+        assert reopened.overlay.has_reachgraph, (
+            "the reopened service must answer through the graph path, "
+            "not just the union path"
+        )
+        assert_reopened_matches_prefix(
+            reopened,
+            dataset,
+            THRESHOLD,
+            random_queries(dataset, count=25, seed=17),
+            context="graph-path reopen",
+        )
+        reopened.close()
+
+    def test_restored_graph_is_structurally_identical_to_a_fresh_build(
+        self, tmp_path, dataset
+    ):
+        """Partition by partition, vertex record by vertex record — interval,
+        members, DAG edges, long-edge layers, partition assignment — the
+        restored index equals the index a from-scratch build produces over
+        the same prefix."""
+        storage_config = backend_storage_config("file", storage_dir=str(tmp_path))
+        service = make_service(dataset, storage_config, max_delta_contacts=10_000)
+        service.auto_merge = False
+        service.drain(dataset)
+        service.merge()
+        service.close()
+
+        reopened = SnapshotQueryService.open(storage_config, name=service.name)
+        restored = reopened.overlay.snapshot_processor.index
+
+        network = prefix_network(dataset, THRESHOLD)
+        fresh = ReachGraphIndex(
+            dataset,
+            ReachGraphConfig(),
+            contact_config=CONTACTS,
+            contact_network=network,
+        ).build()
+
+        assert restored.num_partitions == fresh.num_partitions
+        assert restored.num_vertices == fresh.num_vertices
+        for partition_id in range(fresh.num_partitions):
+            restored_records = sorted(
+                restored.read_partition(partition_id), key=lambda r: r.node_id
+            )
+            fresh_records = sorted(
+                fresh.read_partition(partition_id), key=lambda r: r.node_id
+            )
+            assert restored_records == fresh_records, (
+                f"partition {partition_id} diverged after restore"
+            )
+        assert restored.catalog()["window_cursors"] == (
+            fresh.catalog()["window_cursors"]
+        )
+        reopened.close()
+
+
+# ----------------------------------------------------------------------
+# sharded + async reopen (tentpole: every service shape recovers)
+# ----------------------------------------------------------------------
+class TestShardedRecovery:
+    def make_sharded(self, dataset, storage_config, shards=2, **config_overrides):
+        return ShardedReachabilityService.for_dataset(
+            dataset,
+            contact_config=CONTACTS,
+            grid_config=GRID,
+            streaming_config=StreamingConfig(shards=shards, **config_overrides),
+            storage_config=storage_config,
+        )
+
+    @pytest.mark.parametrize("backend", EQUIVALENCE_BACKENDS)
+    def test_close_reopen_answers_at_the_global_low_watermark(
+        self, backend, tmp_path, dataset
+    ):
+        storage_config = backend_storage_config(backend, storage_dir=str(tmp_path))
+        sharded = self.make_sharded(
+            dataset, storage_config, max_delta_contacts=24, batch_ticks=8
+        )
+        sharded.drain(dataset)
+        sharded.merge()
+        sharded.close()
+
+        reopened = ShardedSnapshotQueryService.open(storage_config, name=sharded.name)
+        assert reopened.watermark == dataset.horizon.end
+        assert reopened.num_shards == 2
+        assert_reopened_matches_prefix(
+            reopened,
+            dataset,
+            THRESHOLD,
+            random_queries(dataset, count=25, seed=19),
+            context=f"backend={backend}, sharded reopen",
+        )
+        reopened.close()
+
+    def test_crash_between_shard_flushes_and_coordinator_manifest(
+        self, tmp_path, dataset
+    ):
+        """The coordinator manifest is the sharded commit point: a crash
+        after the shard flushes but before it leaves the shards durably
+        ahead; the reopen clips at the low-watermark the coordinator last
+        committed."""
+        storage_config = backend_storage_config("file", storage_dir=str(tmp_path))
+        sharded = self.make_sharded(dataset, storage_config, max_delta_contacts=24)
+        batches = list(DatasetReplaySource(dataset, batch_ticks=12).batches())
+        for batch in batches[:3]:
+            sharded.ingest(batch)
+        sharded.flush()
+        committed = sharded.low_watermark
+        for batch in batches[3:]:
+            sharded.ingest(batch)
+        faults.arm("sharded-flush-post-shards")
+        with pytest.raises(SimulatedCrash):
+            sharded.flush()
+        kill_sharded(sharded)
+
+        reopened = ShardedSnapshotQueryService.open(storage_config, name=sharded.name)
+        assert reopened.watermark == committed, (
+            "answers must clip at the committed low-watermark, not at "
+            "whatever the shards got ahead to"
+        )
+        assert_reopened_matches_prefix(
+            reopened,
+            dataset,
+            THRESHOLD,
+            random_queries(dataset, count=15, seed=23),
+            context="sharded flush crash",
+        )
+        reopened.close()
+
+    def test_crash_between_per_shard_closes_loses_nothing(self, tmp_path, dataset):
+        """close() makes everything durable before releasing any device, so a
+        kill landing between per-shard closes recovers the full prefix."""
+        storage_config = backend_storage_config("file", storage_dir=str(tmp_path))
+        sharded = self.make_sharded(dataset, storage_config, max_delta_contacts=24)
+        sharded.drain(dataset)
+        final = sharded.low_watermark
+        faults.arm("shard-close")  # fires right after shard 0's device closes
+        with pytest.raises(SimulatedCrash):
+            sharded.close()
+        kill_sharded(sharded)
+
+        reopened = ShardedSnapshotQueryService.open(storage_config, name=sharded.name)
+        assert reopened.watermark == final == dataset.horizon.end
+        assert_reopened_matches_prefix(
+            reopened,
+            dataset,
+            THRESHOLD,
+            random_queries(dataset, count=15, seed=29),
+            context="mid-close crash",
+        )
+        reopened.close()
+
+
+class TestAsyncRecovery:
+    def test_aclose_then_reopen_matches_reference(self, tmp_path, dataset):
+        import asyncio
+
+        storage_config = backend_storage_config("file", storage_dir=str(tmp_path))
+        service = AsyncReachabilityService.for_dataset(
+            dataset,
+            contact_config=CONTACTS,
+            grid_config=GRID,
+            streaming_config=StreamingConfig(
+                shards=2, merge_policy="elapsed-intervals", max_elapsed_intervals=2
+            ),
+            storage_config=storage_config,
+        )
+
+        async def scenario():
+            async with service:
+                for batch in DatasetReplaySource(dataset, batch_ticks=12).batches():
+                    await service.ingest(batch)
+                await service.drain()
+
+        asyncio.run(asyncio.wait_for(scenario(), timeout=120.0))
+
+        reopened = AsyncReachabilityService.reopen(storage_config, name=service.name)
+        assert reopened.watermark == dataset.horizon.end
+        assert_reopened_matches_prefix(
+            reopened,
+            dataset,
+            THRESHOLD,
+            random_queries(dataset, count=25, seed=31),
+            context="async reopen",
+        )
+        reopened.close()
+
+    def test_kill_behind_the_event_loops_recovers_the_committed_prefix(
+        self, tmp_path, dataset
+    ):
+        import asyncio
+
+        storage_config = backend_storage_config("file", storage_dir=str(tmp_path))
+        service = AsyncReachabilityService.for_dataset(
+            dataset,
+            contact_config=CONTACTS,
+            grid_config=GRID,
+            streaming_config=StreamingConfig(shards=2),
+            storage_config=storage_config,
+        )
+        batches = list(DatasetReplaySource(dataset, batch_ticks=12).batches())
+
+        async def scenario():
+            # Deliberately no ``async with``: a clean exit would aclose() and
+            # make everything durable.  The loop teardown cancels the shard
+            # ingest tasks exactly the way a dying process would.
+            await service.__aenter__()
+            for batch in batches[:3]:
+                await service.ingest(batch)
+            await service.drain()
+            service.service.flush()
+            committed = service.low_watermark
+            for batch in batches[3:]:
+                await service.ingest(batch)
+            await service.drain()
+            # A flush interrupted mid-way (the wrapped sharded service's
+            # commit protocol), then the process dies:
+            faults.arm("sharded-flush-post-shards")
+            with pytest.raises(SimulatedCrash):
+                service.service.flush()
+            return committed
+
+        committed = asyncio.run(asyncio.wait_for(scenario(), timeout=120.0))
+        kill_sharded(service.service)
+
+        reopened = AsyncReachabilityService.reopen(storage_config, name=service.name)
+        assert reopened.watermark == committed
+        assert_reopened_matches_prefix(
+            reopened,
+            dataset,
+            THRESHOLD,
+            random_queries(dataset, count=15, seed=37),
+            context="async kill recovery",
+        )
+        reopened.close()
+
+
+# ----------------------------------------------------------------------
+# the randomized kill matrix (acceptance: any point, any shape, any backend)
+# ----------------------------------------------------------------------
+UNSHARDED_POINTS = (
+    "flush-post-ingestor",
+    "flush-post-manifest",
+    "merge-pre-adopt",
+)
+SHARDED_POINTS = (
+    "flush-post-ingestor",
+    "sharded-flush-post-shards",
+    "merge-pre-adopt",
+    "shard-close",
+)
+
+
+class TestRandomizedKill:
+    """Seeded random crashes: pick a fault point and an arming batch, drive
+    the stream with a flush after every batch, kill on the simulated crash,
+    and prove the reopened service answers bit-identically to the batch
+    reference over whatever prefix its manifest committed."""
+
+    @pytest.mark.parametrize("backend", EQUIVALENCE_BACKENDS)
+    @pytest.mark.parametrize("seed", (0, 1, 2))
+    def test_unsharded_random_kill_then_reopen_and_resume(
+        self, backend, seed, tmp_path, dataset
+    ):
+        rng = random.Random(seed)
+        point = rng.choice(UNSHARDED_POINTS)
+        storage_config = backend_storage_config(backend, storage_dir=str(tmp_path))
+        service = make_service(dataset, storage_config, max_delta_contacts=16)
+        batches = list(DatasetReplaySource(dataset, batch_ticks=8).batches())
+        arm_at = rng.randrange(1, len(batches) - 1)
+        crashed = False
+        for index, batch in enumerate(batches):
+            if index == arm_at:
+                faults.arm(point)
+            try:
+                service.ingest(batch)
+                service.flush()
+            except SimulatedCrash:
+                crashed = True
+                break
+        if crashed:
+            kill_unsharded(service)
+        else:
+            faults.clear()  # a late-armed merge point may never fire
+            service.close()
+
+        reopened = SnapshotQueryService.open(storage_config, name=service.name)
+        assert reopened.watermark is not None
+        assert_reopened_matches_prefix(
+            reopened,
+            dataset,
+            THRESHOLD,
+            random_queries(dataset, count=12, seed=41 + seed),
+            context=f"random kill: backend={backend}, seed={seed}, point={point}, "
+            f"crashed={crashed}",
+        )
+        reopened.close()
+
+        # ...and the full-resume path continues the stream to its horizon.
+        resumed = StreamingReachabilityService.open(storage_config, name=service.name)
+        recovered = resumed.watermark
+        assert recovered is not None
+        for batch in batches:
+            if batch.watermark > recovered:
+                resumed.ingest(batch)
+        assert resumed.watermark == dataset.horizon.end
+        assert_methods_agree(
+            reference_evaluator(prefix_network(dataset, THRESHOLD)),
+            {"resumed": resumed.query},
+            random_queries(dataset, count=12, seed=43 + seed),
+            check_earliest=True,
+            context=f"random kill resume: backend={backend}, seed={seed}, "
+            f"point={point}",
+        )
+        resumed.close()
+
+    @pytest.mark.parametrize("backend", EQUIVALENCE_BACKENDS)
+    @pytest.mark.parametrize("seed", (0, 1))
+    def test_async_random_kill_then_reopen(self, backend, seed, tmp_path, dataset):
+        import asyncio
+
+        rng = random.Random(200 + seed)
+        point = rng.choice(("flush-post-ingestor", "sharded-flush-post-shards"))
+        storage_config = backend_storage_config(backend, storage_dir=str(tmp_path))
+        service = AsyncReachabilityService.for_dataset(
+            dataset,
+            contact_config=CONTACTS,
+            grid_config=GRID,
+            streaming_config=StreamingConfig(shards=2, max_delta_contacts=16),
+            storage_config=storage_config,
+        )
+        batches = list(DatasetReplaySource(dataset, batch_ticks=8).batches())
+        arm_at = rng.randrange(1, len(batches) - 1)
+
+        async def scenario():
+            # No ``async with``: on a crash the process dies with the shard
+            # loops still running; the loop teardown cancels them like a kill.
+            await service.__aenter__()
+            for index, batch in enumerate(batches):
+                if index == arm_at:
+                    faults.arm(point)
+                try:
+                    await service.ingest(batch)
+                    await service.drain()
+                    service.service.flush()
+                except SimulatedCrash:
+                    return True
+            faults.clear()  # a late arm may never have fired
+            await service.aclose()
+            return False
+
+        crashed = asyncio.run(asyncio.wait_for(scenario(), timeout=120.0))
+        if crashed:
+            kill_sharded(service.service)
+
+        reopened = AsyncReachabilityService.reopen(storage_config, name=service.name)
+        assert reopened.watermark is not None
+        assert_reopened_matches_prefix(
+            reopened,
+            dataset,
+            THRESHOLD,
+            random_queries(dataset, count=12, seed=53 + seed),
+            context=f"random async kill: backend={backend}, seed={seed}, "
+            f"point={point}, crashed={crashed}",
+        )
+        reopened.close()
+
+    @pytest.mark.parametrize("backend", EQUIVALENCE_BACKENDS)
+    @pytest.mark.parametrize("seed", (0, 1, 2))
+    def test_sharded_random_kill_then_reopen(self, backend, seed, tmp_path, dataset):
+        rng = random.Random(100 + seed)
+        point = rng.choice(SHARDED_POINTS)
+        storage_config = backend_storage_config(backend, storage_dir=str(tmp_path))
+        sharded = ShardedReachabilityService.for_dataset(
+            dataset,
+            contact_config=CONTACTS,
+            grid_config=GRID,
+            streaming_config=StreamingConfig(shards=2, max_delta_contacts=16),
+            storage_config=storage_config,
+        )
+        batches = list(DatasetReplaySource(dataset, batch_ticks=8).batches())
+        arm_at = rng.randrange(1, len(batches) - 1)
+        crashed = False
+        for index, batch in enumerate(batches):
+            if index == arm_at:
+                faults.arm(point)
+            try:
+                sharded.ingest(batch)
+                sharded.flush()
+            except SimulatedCrash:
+                crashed = True
+                break
+        if not crashed:
+            try:
+                sharded.close()  # "shard-close" can only fire here
+            except SimulatedCrash:
+                crashed = True
+            faults.clear()
+        if crashed:
+            kill_sharded(sharded)
+
+        reopened = ShardedSnapshotQueryService.open(storage_config, name=sharded.name)
+        assert reopened.watermark is not None
+        assert_reopened_matches_prefix(
+            reopened,
+            dataset,
+            THRESHOLD,
+            random_queries(dataset, count=12, seed=47 + seed),
+            context=f"random sharded kill: backend={backend}, seed={seed}, "
+            f"point={point}, crashed={crashed}",
+        )
+        reopened.close()

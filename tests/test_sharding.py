@@ -510,3 +510,70 @@ class TestShardedService:
         with pytest.raises(StreamingError):
             service.merge()
         service.close()  # idempotent
+
+
+# ----------------------------------------------------------------------
+# the close/reopen axis (crash-consistent recovery)
+# ----------------------------------------------------------------------
+class TestShardedCloseReopen:
+    def test_reopen_matches_reference_at_every_watermark(
+        self, dataset, shards, tmp_path
+    ):
+        """Close at each batch cut and reopen read-only: the restored
+        coordinator answers over exactly the committed low-watermark prefix,
+        bit-identically to the batch reference evaluator."""
+        from equivalence import assert_reopened_matches_prefix
+        from repro.streaming import ShardedSnapshotQueryService
+
+        batches = list(DatasetReplaySource(dataset, batch_ticks=20).batches())
+        workload = random_queries(dataset, count=12, seed=53)
+        for cut in range(1, len(batches) + 1):
+            directory = tmp_path / f"cut{cut}"
+            directory.mkdir()
+            config = backend_storage_config("file", storage_dir=str(directory))
+            service = make_sharded(
+                dataset, shards, "hash",
+                storage_config=config, max_delta_contacts=24,
+            )
+            for batch in batches[:cut]:
+                service.ingest(batch)
+            expected = service.low_watermark
+            service.close()
+            reopened = ShardedSnapshotQueryService.open(config, name=service.name)
+            assert reopened.watermark == expected
+            assert reopened.num_shards == shards
+            assert_reopened_matches_prefix(
+                reopened, dataset, THRESHOLD, workload,
+                context=f"shards={shards}, cut={cut}",
+            )
+            reopened.close()
+
+    def test_close_after_interrupted_merge_reopens_consistently(
+        self, dataset, tmp_path
+    ):
+        """A merge killed between build and adopt leaves the overlay
+        untouched; a subsequent clean close must reopen to the full prefix."""
+        from equivalence import assert_reopened_matches_prefix
+        from repro.streaming import ShardedSnapshotQueryService
+        from repro.testing import faults
+        from repro.testing.faults import SimulatedCrash
+
+        config = backend_storage_config("file", storage_dir=str(tmp_path))
+        service = make_sharded(
+            dataset, 2, "hash", storage_config=config, max_delta_contacts=100_000
+        )
+        service.drain(dataset)
+        faults.arm("merge-pre-adopt")
+        with pytest.raises(SimulatedCrash):
+            service.merge()
+        faults.clear()
+        low = service.low_watermark
+        service.close()
+        reopened = ShardedSnapshotQueryService.open(config, name=service.name)
+        assert reopened.watermark == low == dataset.horizon.end
+        assert_reopened_matches_prefix(
+            reopened, dataset, THRESHOLD,
+            random_queries(dataset, count=15, seed=61),
+            context="close after interrupted merge",
+        )
+        reopened.close()

@@ -1143,3 +1143,62 @@ class TestStreamExperiment:
         assert row["ingest_events_per_sec"] > 0
         assert row["premerge_matches"] == "4/4"
         assert row["postmerge_matches"] == "4/4"
+
+
+class TestMergeRestageRegression:
+    """Regression for the quadratic ``_finish_adopt`` restage.
+
+    After an LSM merge adopts, the rebuilt delta must contain only the closed
+    contacts *past* the new snapshot watermark, each exactly once.  The old
+    implementation restaged the ingestor's full closed-contact history on
+    every merge — quadratic work that also re-added contacts the snapshot had
+    already frozen, double-covering their validity ticks."""
+
+    def test_no_duplicate_coverage_after_repeated_merges(
+        self, tiny_dataset, tiny_contact_config
+    ):
+        service = StreamingReachabilityService.for_dataset(
+            tiny_dataset,
+            contact_config=tiny_contact_config,
+            streaming_config=StreamingConfig(
+                max_delta_contacts=16, build_reachgraph_on_merge=False
+            ),
+        )
+        service.drain(tiny_dataset)
+        assert service.stats.merges > 3, "workload must force several merges"
+        horizon = tiny_dataset.horizon
+        interval = TimeInterval(horizon.start, horizon.end)
+        covered = set()
+        for contact in service.overlay.collect_contacts(interval, open_contacts=()):
+            pair = (contact.first, contact.second)
+            for tick in range(contact.validity.start, contact.validity.end + 1):
+                assert (pair, tick) not in covered, (
+                    f"contact {pair} double-covered at tick {tick}: the merge "
+                    f"restaged a contact the snapshot already holds"
+                )
+                covered.add((pair, tick))
+
+    def test_delta_holds_only_contacts_past_the_snapshot_watermark(
+        self, tiny_dataset, tiny_contact_config
+    ):
+        service = StreamingReachabilityService.for_dataset(
+            tiny_dataset,
+            contact_config=tiny_contact_config,
+            streaming_config=StreamingConfig(
+                max_delta_contacts=16, build_reachgraph_on_merge=False
+            ),
+        )
+        batches = list(DatasetReplaySource(tiny_dataset, batch_ticks=10).batches())
+        for batch in batches:
+            service.ingest(batch)
+            frozen = service.overlay.snapshot_watermark
+            if frozen is None:
+                continue
+            horizon = tiny_dataset.horizon
+            for contact in service.overlay._delta.contacts_overlapping(
+                TimeInterval(horizon.start, horizon.end)
+            ):
+                assert contact.validity.end > frozen, (
+                    f"delta holds {contact} entirely at or before the "
+                    f"snapshot watermark {frozen}"
+                )
