@@ -13,6 +13,8 @@ Usage::
     python -m repro.cli stream-async --concurrency 8  # sync vs asyncio serving
     python -m repro.cli stream-disk          # sim vs file vs mmap comparison
     python -m repro.cli stream-graph         # incremental vs rebuild graph merges
+    python -m repro.cli stream-parallel      # merge-executor scaling curve
+    python -m repro.cli stream --merge-executor process --merge-workers 4
     python -m repro.cli table5 --json out.json  # machine-readable results too
 
 Besides the experiments, ``recover`` reopens the durable state a streaming
@@ -29,7 +31,7 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
-from .core.config import GRAPH_MODES, STORAGE_BACKENDS
+from .core.config import GRAPH_MODES, MERGE_EXECUTORS, STORAGE_BACKENDS
 from .experiments.figures import EXPERIMENTS
 from .experiments.report import format_result, format_results_json
 
@@ -54,6 +56,13 @@ _QUICK_OVERRIDES = {
     "stream-async": {"dataset_names": ("rwp-tiny",), "num_queries": 6, "queries_per_batch": 2},
     "stream-disk": {"dataset_names": ("rwp-tiny",), "num_queries": 6},
     "stream-graph": {"dataset_names": ("rwp-tiny",), "num_queries": 6, "max_delta_contacts": 24},
+    "stream-parallel": {
+        "dataset_names": ("rwp-tiny",),
+        "num_queries": 6,
+        "worker_counts": (1, 2),
+        "shards": 2,
+        "max_delta_contacts": 24,
+    },
 }
 
 #: How --shards N is injected, per experiment that understands sharding.
@@ -61,6 +70,7 @@ _SHARD_KWARGS = {
     "stream": lambda shards: {"shards": shards},
     "stream-sharded": lambda shards: {"shard_counts": (shards,)},
     "stream-async": lambda shards: {"shards": shards},
+    "stream-parallel": lambda shards: {"shards": shards},
 }
 
 #: How --storage-backend NAME is injected, per experiment that runs its
@@ -71,6 +81,7 @@ _STORAGE_BACKEND_KWARGS = {
     "stream-async": lambda backend: {"storage_backend": backend},
     "stream-disk": lambda backend: {"backends": (backend,)},
     "stream-graph": lambda backend: {"storage_backend": backend},
+    "stream-parallel": lambda backend: {"storage_backend": backend},
 }
 
 #: How --concurrency N is injected, per experiment that serves queries
@@ -84,6 +95,18 @@ _CONCURRENCY_KWARGS = {
 _GRAPH_MODE_KWARGS = {
     "stream": lambda mode: {"graph_mode": mode},
     "stream-graph": lambda mode: {"graph_modes": (mode,)},
+}
+
+#: How --merge-executor KIND (and --merge-workers N) are injected, per
+#: experiment whose streaming service runs merge builds through an executor.
+_MERGE_EXECUTOR_KWARGS = {
+    "stream": lambda kind: {"merge_executor": kind},
+    "stream-parallel": lambda kind: {"executors": (kind,)},
+}
+
+_MERGE_WORKERS_KWARGS = {
+    "stream": lambda workers: {"merge_workers": workers},
+    "stream-parallel": lambda workers: {"worker_counts": (workers,)},
 }
 
 
@@ -151,6 +174,25 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "maintain the streaming ReachGraph incrementally or rebuild it "
             f"per merge (applies to: {', '.join(sorted(_GRAPH_MODE_KWARGS))})"
+        ),
+    )
+    parser.add_argument(
+        "--merge-executor",
+        choices=MERGE_EXECUTORS,
+        default=None,
+        help=(
+            "run merge builds inline, on a thread pool, or on worker "
+            f"processes (applies to: {', '.join(sorted(_MERGE_EXECUTOR_KWARGS))})"
+        ),
+    )
+    parser.add_argument(
+        "--merge-workers",
+        type=int,
+        metavar="N",
+        default=None,
+        help=(
+            "pool size for --merge-executor thread/process "
+            f"(applies to: {', '.join(sorted(_MERGE_WORKERS_KWARGS))})"
         ),
     )
     parser.add_argument(
@@ -246,6 +288,8 @@ def _run_one(
     concurrency: Optional[int] = None,
     storage_backend: Optional[str] = None,
     graph_mode: Optional[str] = None,
+    merge_executor: Optional[str] = None,
+    merge_workers: Optional[int] = None,
 ):
     driver = EXPERIMENTS[name]
     kwargs = dict(_QUICK_OVERRIDES.get(name, {})) if quick else {}
@@ -257,6 +301,10 @@ def _run_one(
         kwargs.update(_STORAGE_BACKEND_KWARGS[name](storage_backend))
     if graph_mode is not None and name in _GRAPH_MODE_KWARGS:
         kwargs.update(_GRAPH_MODE_KWARGS[name](graph_mode))
+    if merge_executor is not None and name in _MERGE_EXECUTOR_KWARGS:
+        kwargs.update(_MERGE_EXECUTOR_KWARGS[name](merge_executor))
+    if merge_workers is not None and name in _MERGE_WORKERS_KWARGS:
+        kwargs.update(_MERGE_WORKERS_KWARGS[name](merge_workers))
     return driver(**kwargs)
 
 
@@ -289,6 +337,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--shards must be positive")
     if args.concurrency is not None and args.concurrency <= 0:
         parser.error("--concurrency must be positive")
+    if args.merge_workers is not None and args.merge_workers <= 0:
+        parser.error("--merge-workers must be positive")
     results = []
     for name in names:
         print(f"running {name} ...", file=sys.stderr)
@@ -300,6 +350,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 concurrency=args.concurrency,
                 storage_backend=args.storage_backend,
                 graph_mode=args.graph_mode,
+                merge_executor=args.merge_executor,
+                merge_workers=args.merge_workers,
             )
         )
     report = "\n\n".join(format_result(result) for result in results)

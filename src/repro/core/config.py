@@ -26,6 +26,7 @@ __all__ = [
     "ContactConfig",
     "StreamingConfig",
     "GRAPH_MODES",
+    "MERGE_EXECUTORS",
     "MERGE_POLICIES",
     "SHARD_ROUTERS",
     "SNAPSHOT_MODES",
@@ -227,6 +228,14 @@ SNAPSHOT_MODES: Tuple[str, ...] = ("lsm", "rebuild")
 #: pre-incremental behaviour, kept for write-amplification comparisons).
 GRAPH_MODES: Tuple[str, ...] = ("incremental", "rebuild")
 
+#: Where the pure build phase of a streaming merge executes (see
+#: :mod:`repro.streaming.parallel`): ``inline`` builds on the calling thread
+#: (the historical behaviour), ``thread`` on a thread pool (overlaps builds
+#: with ingest IO but shares the GIL), ``process`` on a
+#: :class:`~concurrent.futures.ProcessPoolExecutor` — true multi-core builds,
+#: enabled by ``MergeInputs`` being picklable and ``build_merge`` pure.
+MERGE_EXECUTORS: Tuple[str, ...] = ("inline", "thread", "process")
+
 
 @dataclass(frozen=True, slots=True)
 class StreamingConfig:
@@ -293,6 +302,18 @@ class StreamingConfig:
         overlay-rebuild snapshot mode replaces the whole overlay, index
         included, and services that skip the fast path have no graph to
         maintain).
+    merge_executor:
+        One of :data:`MERGE_EXECUTORS` — where the pure build phase of a
+        merge runs (see :mod:`repro.streaming.parallel`).  ``inline``
+        (default) builds on the calling thread; ``thread`` builds on a
+        thread pool; ``process`` ships the picklable
+        :class:`~repro.streaming.service.MergeInputs` to a process pool for
+        true multi-core builds.  Adoption always happens on the thread that
+        owns the overlay, so answers are bit-identical across executors.
+    merge_workers:
+        Pool size of the ``thread``/``process`` merge executors (ignored by
+        ``inline``).  The sharded coordinator shares one pool across all
+        shards, so this bounds machine-wide concurrent builds.
     """
 
     batch_ticks: int = 8
@@ -308,6 +329,8 @@ class StreamingConfig:
     snapshot_mode: str = "lsm"
     compaction_max_runs: int = 4
     graph_mode: str = "incremental"
+    merge_executor: str = "inline"
+    merge_workers: int = 2
 
     def __post_init__(self) -> None:
         if self.batch_ticks <= 0:
@@ -346,6 +369,13 @@ class StreamingConfig:
                 f"unknown graph mode {self.graph_mode!r}; "
                 f"choose one of {', '.join(GRAPH_MODES)}"
             )
+        if self.merge_executor not in MERGE_EXECUTORS:
+            raise ConfigurationError(
+                f"unknown merge executor {self.merge_executor!r}; "
+                f"choose one of {', '.join(MERGE_EXECUTORS)}"
+            )
+        if self.merge_workers <= 0:
+            raise ConfigurationError("merge_workers must be positive")
 
     def with_merge_policy(self, policy: str) -> "StreamingConfig":
         """Copy of this config with a different merge policy."""
@@ -360,6 +390,16 @@ class StreamingConfig:
         if router is None:
             return replace(self, shards=shards)
         return replace(self, shards=shards, router=router)
+
+    def with_merge_executor(
+        self, merge_executor: str, merge_workers: int | None = None
+    ) -> "StreamingConfig":
+        """Copy of this config with a different merge executor (and pool size)."""
+        if merge_workers is None:
+            return replace(self, merge_executor=merge_executor)
+        return replace(
+            self, merge_executor=merge_executor, merge_workers=merge_workers
+        )
 
 
 @dataclass(frozen=True, slots=True)

@@ -154,6 +154,8 @@ class ReachabilityEngine:
         storage_backend: str | None = None,
         storage_dir: str | None = None,
         graph_mode: str | None = None,
+        merge_executor: str | None = None,
+        merge_workers: int | None = None,
     ):
         """A streaming reachability service configured like this engine
         (same contact and storage parameters).
@@ -192,6 +194,13 @@ class ReachabilityEngine:
         fast path (one of ``GRAPH_MODES``): ``incremental`` patches the
         reduced DAG in place so merge cost tracks the delta, ``rebuild``
         reconstructs it from scratch every merge (kept for comparisons).
+
+        ``merge_executor`` selects where the pure build phase of merges runs
+        (one of ``MERGE_EXECUTORS``): ``inline`` on the calling thread,
+        ``thread`` on a thread pool, ``process`` on a
+        ``ProcessPoolExecutor`` of ``merge_workers`` processes — true
+        multi-core builds, with answers bit-identical across all three (see
+        :mod:`repro.streaming.parallel` and ``docs/MERGE_PROTOCOL.md``).
         """
         config = streaming_config or StreamingConfig()
         if shards is not None or router is not None:
@@ -200,6 +209,10 @@ class ReachabilityEngine:
             )
         if graph_mode is not None:
             config = config.with_graph_mode(graph_mode)
+        if merge_executor is not None or merge_workers is not None:
+            config = config.with_merge_executor(
+                merge_executor or config.merge_executor, merge_workers
+            )
         storage_config = self.storage_config
         if storage_backend is not None or storage_dir is not None:
             effective = storage_backend or storage_config.backend

@@ -700,6 +700,13 @@ def _graph_merge_replay(**kwargs) -> ExperimentResult:
     return graph_merge_replay(**kwargs)
 
 
+def _parallel_merge_replay(**kwargs) -> ExperimentResult:
+    """Merge-executor scaling: drain cost and build overlap per executor."""
+    from ..streaming.experiment import parallel_merge_replay
+
+    return parallel_merge_replay(**kwargs)
+
+
 EXPERIMENTS = {
     "table1": table1_complexity,
     "figure8": figure8_grid_resolution,
@@ -719,4 +726,5 @@ EXPERIMENTS = {
     "stream-async": _async_stream_replay,
     "stream-disk": _disk_backend_replay,
     "stream-graph": _graph_merge_replay,
+    "stream-parallel": _parallel_merge_replay,
 }

@@ -207,6 +207,21 @@ class StorageSystem:
             self._tempdir.cleanup()
             self._tempdir = None
 
+    def release(self) -> None:
+        """Release the device *without* flushing; backing files are kept.
+
+        For read-only consumers (reopened snapshot services, parallel query
+        workers): they changed nothing worth persisting, and skipping the
+        final manifest rewrite means concurrent readers of the same storage
+        directory — worker processes reopening the same snapshot — never
+        race each other on the manifest sidecar.  Idempotent.
+        """
+        if not self.disk.closed:
+            self.disk.discard()
+        if self._tempdir is not None:
+            self._tempdir.cleanup()
+            self._tempdir = None
+
     def destroy(self) -> None:
         """Release the device and delete its backing files.  Idempotent.
 

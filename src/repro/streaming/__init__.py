@@ -28,7 +28,14 @@ subpackage keeps the indexes queryable *while* data arrives:
   ingest loop per shard behind bounded queues (``await ingest`` backpressures
   when full), executes merges as background tasks over the frozen prefix, and
   swaps snapshots in atomically so ``await query`` never blocks on a rebuild
-  (``engine.streaming(async_mode=True)``).
+  (``engine.streaming(async_mode=True)``);
+* :mod:`~repro.streaming.parallel` — true multi-core execution: the
+  :class:`~repro.streaming.parallel.MergeExecutor` abstraction runs the pure
+  build phase of merges inline, on a thread pool, or on a process pool
+  (``engine.streaming(merge_executor="process")``), and
+  :class:`~repro.streaming.parallel.ParallelQueryService` answers queries on
+  a pool of worker processes over reopened read-only snapshots with
+  generation-based invalidation.
 
 Quickstart
 ----------
@@ -58,6 +65,13 @@ from .delta import (
 from .events import ContactEvent, SampleEvent, StreamBatch
 from .experiment import async_stream_replay, sharded_stream_replay, stream_replay
 from .ingest import StreamIngestor
+from .parallel import (
+    InlineMergeExecutor,
+    MergeExecutor,
+    ParallelQueryService,
+    PoolMergeExecutor,
+    make_merge_executor,
+)
 from .policy import (
     AmplificationPolicy,
     DeltaSizePolicy,
@@ -110,9 +124,14 @@ __all__ = [
     "ShardedReachabilityService",
     "ShardedSnapshotQueryService",
     "ShardedStats",
+    "InlineMergeExecutor",
     "MergeBuild",
+    "MergeExecutor",
     "MergeInputs",
+    "ParallelQueryService",
+    "PoolMergeExecutor",
     "QueryResultCache",
+    "make_merge_executor",
     "SnapshotArtifacts",
     "SnapshotQueryService",
     "StreamingReachabilityService",

@@ -293,7 +293,21 @@ class AsyncReachabilityService:
         self, shard: StreamingReachabilityService, inputs: MergeInputs
     ) -> None:
         try:
-            build = await asyncio.to_thread(build_merge, inputs, self._storage_config)
+            # The coordinator's shared MergeExecutor decides where the pure
+            # build runs: the inline executor would build right here on the
+            # event loop, so it is wrapped in to_thread (preserving the
+            # pre-executor behaviour — one background thread per merge);
+            # thread/process pools already run elsewhere, so the loop just
+            # awaits their future.
+            executor = self._service.merge_executor
+            if executor.kind == "inline":
+                build = await asyncio.to_thread(
+                    build_merge, inputs, self._storage_config
+                )
+            else:
+                build = await asyncio.wrap_future(
+                    executor.submit(inputs, self._storage_config)
+                )
             # Atomic from here to the end of the invalidation: no await, so a
             # concurrent query sees the old snapshot or the new one, never a
             # half-adopted state or a stale cached answer.  A cancellation

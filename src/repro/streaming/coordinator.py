@@ -44,6 +44,7 @@ from ..storage import BACKEND_FILE_SUFFIX, StorageSystem
 from ..testing.faults import crash_point
 from ..trajectory.model import TrajectoryDataset
 from .events import SampleEvent, StreamBatch
+from .parallel import MergeExecutor, make_merge_executor
 from .policy import make_policy
 from .router import ShardRouter, make_router
 from .service import (
@@ -125,6 +126,13 @@ class ShardedReachabilityService:
             query_cache_size=0,
             build_reachgraph_on_merge=False,
         )
+        # One merge executor for the whole coordinator: per-shard pools would
+        # multiply worker processes by the shard count, and the coordinator
+        # drives every shard merge itself anyway (the shards never auto-merge).
+        self._merge_executor = make_merge_executor(
+            self.streaming_config.merge_executor, self.streaming_config.merge_workers
+        )
+        self._storage_config = storage_config
         self._shards: List[StreamingReachabilityService] = [
             StreamingReachabilityService(
                 environment_size,
@@ -134,6 +142,7 @@ class ShardedReachabilityService:
                 storage_config=storage_config,
                 name=f"{name}-shard{index}",
                 auto_merge=False,
+                merge_executor=self._merge_executor,
             )
             for index in range(num_shards)
         ]
@@ -239,12 +248,38 @@ class ShardedReachabilityService:
         low = self._ingestor.low_watermark
         if low is None:
             return
-        merged = False
-        for shard_id in self.shards_due_for_merge():
-            self._shards[shard_id].merge(through=low)
-            merged = True
-        if merged:
+        due = self.shards_due_for_merge()
+        if due:
+            self._merge_shards(due, low)
             self._cache.clear()
+
+    def _merge_shards(self, shard_ids: Sequence[int], low: TimeInstant) -> None:
+        """Merge the given shards at ``low``, builds fanned out in parallel.
+
+        The coordinator drives the three-phase protocol itself so one shared
+        :class:`~repro.streaming.parallel.MergeExecutor` can overlap the pure
+        builds of *different shards* — the sharded counterpart of the async
+        service overlapping a build with ingestion.  Phase order is what
+        keeps it bit-identical to the serial loop it replaces: every
+        ``prepare_merge`` happens up front on this thread (each captures a
+        prefix frozen at the same ``low``, so later captures are unaffected
+        by earlier shards having built or adopted), the builds run
+        concurrently on the executor, and adoptions apply serially here, in
+        shard order, preserving the ``merge-pre-adopt`` crash point before
+        each one.
+        """
+        prepared = [
+            (shard_id, self._shards[shard_id].prepare_merge(through=low))
+            for shard_id in shard_ids
+        ]
+        submitted = [
+            (shard_id, inputs, self._merge_executor.submit(inputs, self._storage_config))
+            for shard_id, inputs in prepared
+        ]
+        for shard_id, inputs, future in submitted:
+            build = future.result()
+            crash_point("merge-pre-adopt")
+            self._shards[shard_id].adopt_merge(build, inputs)
 
     def shards_due_for_merge(self, force: bool = False) -> List[int]:
         """Shard ids whose merge policy fires at the current low-watermark.
@@ -288,8 +323,7 @@ class ShardedReachabilityService:
         low = self._ingestor.low_watermark
         if low is None:
             raise StreamingError("nothing to merge: no shard has a watermark yet")
-        for shard_id in self.shards_due_for_merge(force=True):
-            self._shards[shard_id].merge(through=low)
+        self._merge_shards(self.shards_due_for_merge(force=True), low)
         self._cache.clear()
 
     # ------------------------------------------------------------------
@@ -414,6 +448,7 @@ class ShardedReachabilityService:
         if self._closed:
             return
         self.flush()
+        self._merge_executor.close()
         for shard in self._shards:
             shard.close()
             crash_point("shard-close")
@@ -452,6 +487,11 @@ class ShardedReachabilityService:
     def query_cache(self) -> QueryResultCache:
         """The coordinator's query-result cache (hit/miss/generation counters)."""
         return self._cache
+
+    @property
+    def merge_executor(self) -> MergeExecutor:
+        """The executor shared by every shard's merge builds."""
+        return self._merge_executor
 
     @property
     def storage(self) -> StorageSystem:
@@ -596,7 +636,7 @@ class ShardedSnapshotQueryService:
         except BaseException:
             for shard in shards:
                 shard.close()
-            storage.close()
+            storage.release()
             raise
 
     def query(self, query: ReachabilityQuery) -> QueryResult:
@@ -685,10 +725,14 @@ class ShardedSnapshotQueryService:
         return self._storage
 
     def close(self) -> None:
-        """Release every reopened device (the state stays on disk)."""
+        """Release every reopened device (the state stays on disk).
+
+        Write-free, like the unsharded reopened service: nothing here
+        mutated the persisted state, so no manifest is rewritten.
+        """
         for shard in self._shards:
             shard.close()
-        self._storage.close()
+        self._storage.release()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -86,6 +86,7 @@ class DeltaSizePolicy(MergePolicy):
         self.max_delta_contacts = max_delta_contacts
 
     def should_merge(self, context: MergeContext) -> bool:
+        """True once the delta holds at least ``max_delta_contacts`` contacts."""
         return context.delta_contacts >= self.max_delta_contacts
 
 
@@ -104,6 +105,7 @@ class ElapsedIntervalsPolicy(MergePolicy):
         self.max_elapsed_intervals = max_elapsed_intervals
 
     def should_merge(self, context: MergeContext) -> bool:
+        """True once ``max_elapsed_intervals`` grid intervals closed since the last merge."""
         return context.intervals_since_merge >= self.max_elapsed_intervals
 
 
@@ -122,6 +124,7 @@ class AmplificationPolicy(MergePolicy):
         self.max_amplification = max_amplification
 
     def should_merge(self, context: MergeContext) -> bool:
+        """True once the delta/snapshot size ratio reaches ``max_amplification``."""
         if context.delta_contacts == 0:
             return False
         return context.amplification >= self.max_amplification

@@ -67,9 +67,11 @@ class HashRouter(ShardRouter):
     name = "hash"
 
     def assign(self, event: SampleEvent) -> int:
+        """The shard for ``event``, from the hash of its object id alone."""
         return self._shard(event.object_id)
 
     def shard_of(self, object_id: ObjectId) -> Optional[int]:
+        """The shard any event for ``object_id`` would be assigned (never ``None``)."""
         return self._shard(object_id)
 
     def _shard(self, object_id: ObjectId) -> int:
@@ -106,6 +108,7 @@ class SpatialCellRouter(ShardRouter):
         self._assignments: Dict[ObjectId, int] = {}
 
     def assign(self, event: SampleEvent) -> int:
+        """The shard for ``event``, pinned at the object's first observed cell."""
         shard = self._assignments.get(event.object_id)
         if shard is None:
             column, row = clamped_spatial_cell(
@@ -116,6 +119,7 @@ class SpatialCellRouter(ShardRouter):
         return shard
 
     def shard_of(self, object_id: ObjectId) -> Optional[int]:
+        """The pinned shard of ``object_id``, or ``None`` if never observed."""
         return self._assignments.get(object_id)
 
 

@@ -42,6 +42,7 @@ from .source import replay
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..reachgraph import GraphFrontier
+    from .parallel import MergeExecutor
 
 __all__ = [
     "MergeBuild",
@@ -307,6 +308,7 @@ class StreamingReachabilityService:
         auto_merge: bool = True,
         ingestor: StreamIngestor | None = None,
         overlay: ReachGraphDeltaOverlay | None = None,
+        merge_executor: "MergeExecutor | None" = None,
     ) -> None:
         self.contact_config = contact_config or ContactConfig()
         self.grid_config = grid_config or ReachGridConfig()
@@ -333,6 +335,12 @@ class StreamingReachabilityService:
         )
         self._policy = make_policy(self.streaming_config)
         self._cache = QueryResultCache(self.streaming_config.query_cache_size)
+        # A caller-supplied executor (the sharded coordinator shares one
+        # across its shards) is borrowed — its lifecycle stays with the
+        # caller; a config-selected one is created lazily and closed by
+        # :meth:`close`.
+        self._merge_executor = merge_executor
+        self._owns_executor = merge_executor is None
         self._consumed_closed = 0
         self._restage_cursor = 0
         self._intervals_at_merge = 0
@@ -502,11 +510,14 @@ class StreamingReachabilityService:
         The three phases — :meth:`prepare_merge` (capture the frozen prefix),
         :func:`build_merge` (the pure build, rebuild- or LSM-mode), and
         :meth:`adopt_merge` (atomic adoption) — are public so the asyncio
-        front-end can run the middle phase in a background thread; this
-        method simply runs them back to back.
+        front-end and the sharded coordinator can schedule the middle phase
+        themselves; this method runs them back to back, routing the build
+        through the configured :class:`~repro.streaming.parallel.MergeExecutor`
+        (``inline`` builds right here; ``thread``/``process`` build on a
+        worker and this thread waits for the result before adopting).
         """
         inputs = self.prepare_merge(through=through)
-        build = build_merge(inputs, self._storage_config)
+        build = self.merge_executor.submit(inputs, self._storage_config).result()
         crash_point("merge-pre-adopt")
         self.adopt_merge(build, inputs)
 
@@ -727,6 +738,9 @@ class StreamingReachabilityService:
         if self._closed:
             return
         self.flush()
+        if self._owns_executor and self._merge_executor is not None:
+            self._merge_executor.close()
+            self._merge_executor = None
         self._overlay.storage.close()
         self._ingestor.storage.close()
         self._cache.clear()  # a closed service must not serve stale answers
@@ -742,6 +756,23 @@ class StreamingReachabilityService:
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
+    @property
+    def merge_executor(self) -> "MergeExecutor":
+        """Where this service's merge builds run (see ``StreamingConfig``).
+
+        Created lazily from ``streaming_config.merge_executor`` /
+        ``merge_workers`` unless the constructor was handed a shared one
+        (the sharded coordinator does that, so one pool serves all shards).
+        """
+        if self._merge_executor is None:
+            from .parallel import make_merge_executor
+
+            self._merge_executor = make_merge_executor(
+                self.streaming_config.merge_executor,
+                self.streaming_config.merge_workers,
+            )
+        return self._merge_executor
+
     @property
     def watermark(self) -> Optional[TimeInstant]:
         """Last complete tick of the stream (``None`` before the first batch)."""
@@ -913,7 +944,7 @@ class SnapshotQueryService:
                 )
             return cls(storage, overlay, open_contacts, manifest["watermark"])
         except BaseException:
-            storage.close()
+            storage.release()
             raise
 
     @staticmethod
@@ -952,7 +983,10 @@ class SnapshotQueryService:
                 ingestor.contact_config.distance_threshold,
             )
         finally:
-            ingestor.storage.close()
+            # release(), not close(): this restore is a pure read, and a
+            # flush here would rewrite the grid manifest — racing any other
+            # process (a parallel query worker) reopening the same state.
+            ingestor.storage.release()
         index = ReachGraphIndex.restore(storage, catalog["index"], prefix, network)
         overlay.attach_graph(
             ReachGraphQueryProcessor(index), network, catalog["version"]
@@ -984,8 +1018,13 @@ class SnapshotQueryService:
         return self._storage
 
     def close(self) -> None:
-        """Release the reopened device (the state stays on disk)."""
-        self._storage.close()
+        """Release the reopened device (the state stays on disk).
+
+        Write-free: a read-only service has nothing to persist, and skipping
+        the final manifest rewrite lets many processes hold (and recycle)
+        snapshots of the same storage directory concurrently.
+        """
+        self._storage.release()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

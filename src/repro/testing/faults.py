@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Dict, Tuple
 
 __all__ = [
+    "FAULT_POINT_DESCRIPTIONS",
     "KNOWN_FAULT_POINTS",
     "SimulatedCrash",
     "arm",
@@ -42,16 +43,50 @@ class SimulatedCrash(BaseException):
         self.point = point
 
 
+#: Every fault point compiled into production code, with where it sits and
+#: what a crash there must leave behind.  The keys double as the registry:
+#: :data:`KNOWN_FAULT_POINTS` is derived from this mapping, so adding a probe
+#: means adding its description here — the two cannot drift apart.
+FAULT_POINT_DESCRIPTIONS: Dict[str, str] = {
+    "flush-post-ingestor": (
+        "Inside StreamingReachabilityService.flush(), after the ingestor's "
+        "state (including the WAL journal) is written back but before the "
+        "manifest commits.  Recovery must replay the WAL tail past the last "
+        "committed flush."
+    ),
+    "flush-post-manifest": (
+        "Inside flush(), after the overlay manifest metadata is staged but "
+        "before the storage flush commits it.  Recovery reopens the previous "
+        "commit, with the ingestor's WAL durably ahead of it."
+    ),
+    "merge-pre-adopt": (
+        "Between a merge's build phase resolving and adopt_merge() starting — "
+        "the built artifacts exist only in memory.  A crash abandons the "
+        "build: the manifest still describes the pre-merge commit, and "
+        "recovery reopens pre-merge state.  The sharded coordinator fires "
+        "this before each shard's adoption."
+    ),
+    "compaction-mid": (
+        "Mid-compaction, after the merged run is staged but before the "
+        "superseded runs are retired in the manifest.  Recovery must come up "
+        "on the pre-compaction run set."
+    ),
+    "shard-close": (
+        "Between per-shard close() calls during a sharded shutdown — a prefix "
+        "of shards closed, the rest merely flushed.  Every shard flushed "
+        "before closing began, so recovery loses nothing."
+    ),
+    "sharded-flush-post-shards": (
+        "Inside the coordinator's flush(), after every shard flushed but "
+        "before the coordinator's own manifest commits — the shards are "
+        "durably ahead of the cross-shard state.  Recovery reconciles the "
+        "window from the older coordinator commit."
+    ),
+}
+
 #: Every fault point compiled into production code.  ``arm`` validates
 #: against this so a typo in a test arms a real probe or fails loudly.
-KNOWN_FAULT_POINTS: Tuple[str, ...] = (
-    "flush-post-ingestor",
-    "flush-post-manifest",
-    "merge-pre-adopt",
-    "compaction-mid",
-    "shard-close",
-    "sharded-flush-post-shards",
-)
+KNOWN_FAULT_POINTS: Tuple[str, ...] = tuple(FAULT_POINT_DESCRIPTIONS)
 
 _armed: Dict[str, int] = {}
 

@@ -21,6 +21,7 @@ from repro.contacts import build_contact_network
 from repro.contacts.network import ContactNetwork
 from repro.core import (
     GRAPH_MODES,
+    MERGE_EXECUTORS,
     STORAGE_BACKENDS,
     QueryResult,
     ReachabilityQuery,
@@ -32,6 +33,7 @@ from repro.trajectory.model import TrajectoryDataset
 __all__ = [
     "EQUIVALENCE_BACKENDS",
     "EQUIVALENCE_GRAPH_MODES",
+    "EQUIVALENCE_MERGE_EXECUTORS",
     "backend_storage_config",
     "prefix_network",
     "reference_evaluator",
@@ -50,6 +52,12 @@ EQUIVALENCE_BACKENDS = tuple(b for b in STORAGE_BACKENDS if b != "sim")
 #: place or rebuild the index from scratch must never change an answer — at
 #: any watermark, on any service variant.
 EQUIVALENCE_GRAPH_MODES = GRAPH_MODES
+
+#: The merge-executor axis: where the pure build phase of a merge runs —
+#: the calling thread, a thread pool, or a worker process — must never change
+#: an answer.  The adopt phase always runs on the owning thread, so every
+#: executor kind commits byte-identical snapshots.
+EQUIVALENCE_MERGE_EXECUTORS = MERGE_EXECUTORS
 
 
 def backend_storage_config(

@@ -26,6 +26,7 @@ import pytest
 
 from equivalence import (
     EQUIVALENCE_BACKENDS,
+    EQUIVALENCE_MERGE_EXECUTORS,
     assert_methods_agree,
     backend_storage_config,
     prefix_network,
@@ -142,6 +143,42 @@ class TestAsyncEquivalence:
 
         stats = run(scenario())
         assert stats.sharded.events == dataset.num_objects * dataset.num_instants
+
+    @pytest.mark.parametrize("executor", EQUIVALENCE_MERGE_EXECUTORS)
+    def test_equivalence_per_merge_executor(self, dataset, executor):
+        """The merge-executor axis of the async contract: background merges
+        built on a thread or process pool (instead of ``asyncio.to_thread``)
+        must leave every awaited answer reference-identical at every cut."""
+
+        async def scenario():
+            service = make_async(
+                dataset,
+                2,
+                merge_policy="elapsed-intervals",
+                max_elapsed_intervals=2,
+                batch_ticks=12,
+                merge_executor=executor,
+                merge_workers=2,
+            )
+            workload = list(random_queries(dataset, count=8, seed=19))
+            async with service:
+                for batch in DatasetReplaySource(dataset, batch_ticks=12).batches():
+                    await service.ingest(batch)
+                    await service.drain()
+                    assert_methods_agree(
+                        reference_evaluator(
+                            prefix_network(
+                                dataset, THRESHOLD, through=service.low_watermark
+                            )
+                        ),
+                        {"async": await collect_async_answers(service, workload)},
+                        workload,
+                        check_earliest=True,
+                        context=f"executor={executor}, wm={service.low_watermark}",
+                    )
+                assert service.background_merges > 0
+
+        run(scenario())
 
     @pytest.mark.slow
     @pytest.mark.parametrize("backend", EQUIVALENCE_BACKENDS)

@@ -1,0 +1,76 @@
+"""The documentation gates: docstring coverage and the fault-point registry.
+
+CI runs ``tools/check_docstrings.py`` in the lint job; this test keeps the
+same gate inside the tier-1 suite so a missing docstring fails fast locally
+too, and pins the fault-point registry to its description table.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+from repro.testing import faults
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docstrings", REPO_ROOT / "tools" / "check_docstrings.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    sys.modules.setdefault("check_docstrings", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestDocstringCoverage:
+    def test_gated_modules_are_fully_documented(self):
+        checker = _load_checker()
+        offenders = []
+        for target in checker.DEFAULT_TARGETS:
+            for path in checker.iter_python_files(REPO_ROOT / target):
+                for line, kind, name in checker.missing_docstrings(path):
+                    offenders.append(f"{path}:{line}: {kind} {name}")
+        assert not offenders, "public objects missing docstrings:\n" + "\n".join(offenders)
+
+    def test_checker_flags_an_undocumented_module(self, tmp_path):
+        checker = _load_checker()
+        bad = tmp_path / "bad.py"
+        bad.write_text("def exposed():\n    pass\n", encoding="utf-8")
+        missing = checker.missing_docstrings(bad)
+        assert (1, "module", "bad") in missing
+        assert any(name == "exposed" for _, _, name in missing)
+
+    def test_checker_ignores_private_and_setters(self, tmp_path):
+        checker = _load_checker()
+        ok = tmp_path / "ok.py"
+        ok.write_text(
+            '"""Module doc."""\n'
+            "class Thing:\n"
+            '    """Class doc."""\n'
+            "    @property\n"
+            "    def value(self):\n"
+            '        """Getter doc."""\n'
+            "        return 1\n"
+            "    @value.setter\n"
+            "    def value(self, v):\n"
+            "        pass\n"
+            "    def _helper(self):\n"
+            "        pass\n",
+            encoding="utf-8",
+        )
+        assert checker.missing_docstrings(ok) == []
+
+
+class TestFaultPointRegistry:
+    def test_known_points_derive_from_descriptions(self):
+        assert faults.KNOWN_FAULT_POINTS == tuple(faults.FAULT_POINT_DESCRIPTIONS)
+
+    def test_every_point_has_a_substantive_description(self):
+        for point, description in faults.FAULT_POINT_DESCRIPTIONS.items():
+            assert len(description) > 40, point
+            assert "ecover" in description or "loses nothing" in description, (
+                f"{point}: description must state the recovery contract"
+            )

@@ -118,6 +118,7 @@ class TestExperimentDrivers:
             "stream-async",
             "stream-disk",
             "stream-graph",
+            "stream-parallel",
         }
 
     def test_table1_is_static(self):
