@@ -12,6 +12,7 @@ Usage::
     python -m repro.cli stream-sharded       # shard-count scaling curve
     python -m repro.cli stream-async --concurrency 8  # sync vs asyncio serving
     python -m repro.cli stream-disk          # sim vs file vs mmap comparison
+    python -m repro.cli stream-space         # GC: live vs device blocks
     python -m repro.cli stream-graph         # incremental vs rebuild graph merges
     python -m repro.cli stream-parallel      # merge-executor scaling curve
     python -m repro.cli stream --merge-executor process --merge-workers 4
@@ -55,6 +56,7 @@ _QUICK_OVERRIDES = {
     "stream-sharded": {"dataset_names": ("rwp-tiny",), "num_queries": 6, "shard_counts": (1, 2, 4)},
     "stream-async": {"dataset_names": ("rwp-tiny",), "num_queries": 6, "queries_per_batch": 2},
     "stream-disk": {"dataset_names": ("rwp-tiny",), "num_queries": 6},
+    "stream-space": {"dataset_names": ("rwp-tiny",), "num_queries": 6, "max_delta_contacts": 24},
     "stream-graph": {"dataset_names": ("rwp-tiny",), "num_queries": 6, "max_delta_contacts": 24},
     "stream-parallel": {
         "dataset_names": ("rwp-tiny",),
@@ -80,6 +82,7 @@ _STORAGE_BACKEND_KWARGS = {
     "stream-sharded": lambda backend: {"storage_backend": backend},
     "stream-async": lambda backend: {"storage_backend": backend},
     "stream-disk": lambda backend: {"backends": (backend,)},
+    "stream-space": lambda backend: {"backends": (backend,)},
     "stream-graph": lambda backend: {"storage_backend": backend},
     "stream-parallel": lambda backend: {"storage_backend": backend},
 }

@@ -289,9 +289,24 @@ class StreamingConfig:
         background, ``rebuild`` rewrites the complete snapshot from scratch on
         every merge (the pre-LSM write path, kept for comparisons).
     compaction_max_runs:
-        Run-count threshold of the LSM path: once a merge leaves more than
-        this many live runs, a compaction folds them into one (superseding
-        the old extents).  Ignored in ``rebuild`` mode.
+        Per-level fanout of the LSM path's size-ratio leveled compaction:
+        once a merge leaves more than this many live runs on one level, a
+        compaction folds that level's runs into a single run one level up
+        (cascading if the next level overflows in turn), superseding the old
+        extents.  Ignored in ``rebuild`` mode.
+    gc_trigger_ratio:
+        Device garbage fraction past which the service runs
+        :meth:`~repro.storage.StorageSystem.reclaim` on its devices after a
+        merge adoption or flush.  ``0.0`` (the default) disables automatic
+        GC — garbage is still measured by the superseded-block ledgers and
+        can be reclaimed explicitly via
+        :meth:`~repro.streaming.service.StreamingReachabilityService.reclaim`.
+    graph_repack_min_partitions:
+        Cold-partition threshold of the incremental ReachGraph's frontier
+        repack: once a merge leaves at least this many cold (closed)
+        under-filled frontier partitions, they are repacked into
+        depth-``dp``-sized extents to restore read locality.  ``0`` (the
+        default) disables repacking.
     graph_mode:
         One of :data:`GRAPH_MODES` — how a merge advances the snapshot's
         ReachGraph index.  ``incremental`` (default) computes a DAG patch over
@@ -328,6 +343,8 @@ class StreamingConfig:
     async_queue_depth: int = 4
     snapshot_mode: str = "lsm"
     compaction_max_runs: int = 4
+    gc_trigger_ratio: float = 0.0
+    graph_repack_min_partitions: int = 0
     graph_mode: str = "incremental"
     merge_executor: str = "inline"
     merge_workers: int = 2
@@ -364,6 +381,15 @@ class StreamingConfig:
             )
         if self.compaction_max_runs <= 0:
             raise ConfigurationError("compaction_max_runs must be positive")
+        if not 0.0 <= self.gc_trigger_ratio < 1.0:
+            raise ConfigurationError(
+                "gc_trigger_ratio must be in [0.0, 1.0) (0 disables GC)"
+            )
+        if self.graph_repack_min_partitions < 0 or self.graph_repack_min_partitions == 1:
+            raise ConfigurationError(
+                "graph_repack_min_partitions must be 0 (disabled) or >= 2 "
+                "(folding a single partition is pure write amplification)"
+            )
         if self.graph_mode not in GRAPH_MODES:
             raise ConfigurationError(
                 f"unknown graph mode {self.graph_mode!r}; "

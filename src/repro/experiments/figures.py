@@ -693,6 +693,13 @@ def _disk_backend_replay(**kwargs) -> ExperimentResult:
     return disk_backend_replay(**kwargs)
 
 
+def _space_replay(**kwargs) -> ExperimentResult:
+    """Space reclamation: device footprint vs live bytes under GC."""
+    from ..streaming.experiment import space_replay
+
+    return space_replay(**kwargs)
+
+
 def _graph_merge_replay(**kwargs) -> ExperimentResult:
     """ReachGraph merge cost: patch the reduced DAG vs rebuild it every merge."""
     from ..streaming.experiment import graph_merge_replay
@@ -725,6 +732,7 @@ EXPERIMENTS = {
     "stream-sharded": _sharded_stream_replay,
     "stream-async": _async_stream_replay,
     "stream-disk": _disk_backend_replay,
+    "stream-space": _space_replay,
     "stream-graph": _graph_merge_replay,
     "stream-parallel": _parallel_merge_replay,
 }

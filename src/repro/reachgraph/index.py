@@ -41,6 +41,7 @@ from ..core.types import ObjectId, TimeInstant, TimeInterval
 from ..contacts.join import build_contact_network
 from ..contacts.network import Contact, ContactNetwork
 from ..storage import BlockFile, ExternalHashTable, StorageSystem
+from ..testing.faults import crash_point
 from ..trajectory.model import TrajectoryDataset
 from .augmentation import (
     AugmentationReport,
@@ -273,6 +274,11 @@ class ReachGraphIndex:
         self._window_cursors: Dict[int, TimeInstant] = {}
         self._records_written = 0
         self._increments = 0
+        # Frontier-repack state: partitions produced by a repack never fold
+        # again, which bounds repack write amplification to one extra rewrite
+        # per vertex record over the index's lifetime.
+        self._packed_partitions: Set[int] = set()
+        self._repacks = 0
 
     def _attach_files(self, storage: StorageSystem, create: bool) -> None:
         self._storage = storage
@@ -602,6 +608,95 @@ class ReachGraphIndex:
             apply_seconds=time.perf_counter() - started,
         )
 
+    def repack_frontier(self, min_partitions: int = 2) -> int:
+        """Fold runs of cold fragmented partitions into single depth-``dp`` extents.
+
+        Incremental merges fragment the partition file: each increment's
+        fresh vertices land in small new partitions, so a query traversing
+        an old stretch of the stream pays one random IO per fragment.  This
+        pass finds maximal runs of ``min_partitions``-or-more consecutive
+        (in write order) *cold* partitions — partitions no future increment
+        can dirty: every member closed before the horizon end and before the
+        earliest unprocessed augmentation window — and rewrites each run as
+        one contiguous extent, exactly as a batch build would have placed
+        those vertices.
+
+        Vertex ids are untouched (the object index never changes); the old
+        partition ids become tombstones and their extents on-device garbage
+        for :meth:`~repro.storage.StorageSystem.reclaim`.  Partitions a
+        previous repack produced never fold again.  The ``repack-pre-adopt``
+        fault point sits between the packed extent's write and the
+        retirement of the fragments; crash-wise the durable catalog flips
+        from fragments to packed extent atomically at the owner's next
+        flush.  Returns the vertex records rewritten.
+        """
+        self._require_built()
+        if min_partitions < 2:
+            raise IndexConstructionError(
+                "repack needs min_partitions >= 2: folding a single "
+                "partition is pure write amplification"
+            )
+        if self._storage is None:
+            return 0
+        assert self.dag is not None and self.partitioning is not None
+        assert self._partitions_file is not None
+        dag = self.dag
+        # A partition is cold when no member can be extended (closed before
+        # the horizon end) and none can still gain a long edge (closed
+        # before the earliest unprocessed window start).
+        ceiling = min(
+            min(self._window_cursors.values(), default=dag.horizon.end + 1),
+            dag.horizon.end,
+        )
+
+        runs: List[List[int]] = []
+        current: List[int] = []
+        for key in self._partitions_file.extent_keys():
+            partition_id = int(key)
+            member_ids = self.partitioning.members[partition_id]
+            if (
+                member_ids
+                and partition_id not in self._packed_partitions
+                and all(
+                    dag.node(node_id).interval.end < ceiling
+                    for node_id in member_ids
+                )
+            ):
+                current.append(partition_id)
+            else:
+                if len(current) >= min_partitions:
+                    runs.append(current)
+                current = []
+        if len(current) >= min_partitions:
+            runs.append(current)
+
+        records_written = 0
+        for group in runs:
+            merged = [
+                node_id
+                for partition_id in group
+                for node_id in self.partitioning.members[partition_id]
+            ]
+            packed_id = len(self.partitioning.members)
+            records = [self._make_record(dag, node_id) for node_id in merged]
+            self._partitions_file.append_extent(packed_id, records)
+            # The packed extent is written but the fragments are still the
+            # cataloged truth: a crash here reopens through the previous
+            # manifest, which only names the fragments (the packed extent
+            # is unreferenced garbage).
+            crash_point("repack-pre-adopt")
+            for partition_id in group:
+                self._partitions_file.drop_extent(partition_id)
+                self.partitioning.members[partition_id] = []
+            for node_id in merged:
+                self.partitioning.partition_of[node_id] = packed_id
+            self.partitioning.members.append(merged)
+            self._packed_partitions.add(packed_id)
+            self._records_written += len(records)
+            records_written += len(records)
+            self._repacks += 1
+        return records_written
+
     # ------------------------------------------------------------------
     # persistence (crash-consistent reopen)
     # ------------------------------------------------------------------
@@ -621,6 +716,8 @@ class ReachGraphIndex:
             "window_cursors": sorted(self._window_cursors.items()),
             "records_written": self._records_written,
             "increments": self._increments,
+            "packed_partitions": sorted(self._packed_partitions),
+            "repacks": self._repacks,
         }
 
     @classmethod
@@ -706,10 +803,13 @@ class ReachGraphIndex:
         self.hypergraph = HyperGraph(dag, layers)
         self.network = self._provided_network
 
-        # 3. Partitioning from the extent directory (ids are append-ordered).
-        members = [
-            partition_members[partition_id]
-            for partition_id in range(len(partition_members))
+        # 3. Partitioning from the extent directory.  Ids are append-ordered
+        #    but may be sparse — a frontier repack retires fragment ids,
+        #    leaving tombstones — so missing ids restore as empty lists.
+        max_id = max(partition_members, default=-1)
+        members: List[List[int]] = [
+            partition_members.get(partition_id, [])
+            for partition_id in range(max_id + 1)
         ]
         partitioning = Partitioning(
             partition_of={
@@ -731,6 +831,11 @@ class ReachGraphIndex:
         }
         self._records_written = int(catalog["records_written"])  # type: ignore[arg-type]
         self._increments = int(catalog["increments"])  # type: ignore[arg-type]
+        self._packed_partitions = {
+            int(partition_id)
+            for partition_id in catalog.get("packed_partitions", ())  # type: ignore[union-attr]
+        }
+        self._repacks = int(catalog.get("repacks", 0))  # type: ignore[arg-type]
         self._built = True
 
         # 5. Reconcile the object-index buckets against the rebuilt DAG.
@@ -840,6 +945,11 @@ class ReachGraphIndex:
     def num_increments(self) -> int:
         """Increments applied since the build."""
         return self._increments
+
+    @property
+    def num_repacks(self) -> int:
+        """Frontier repack folds performed since the build."""
+        return self._repacks
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         status = "built" if self._built else "not built"

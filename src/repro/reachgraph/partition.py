@@ -30,7 +30,10 @@ class Partitioning:
         ``partition_of[node_id]`` is the partition holding that vertex.
     members:
         ``members[p]`` lists the vertex ids of partition ``p`` in the order
-        they should be written inside the extent.
+        they should be written inside the extent.  An empty list is a
+        *tombstone*: a partition retired by a frontier repack whose vertices
+        moved into a packed partition — the id stays reserved so later ids
+        never shift.
     depth:
         The partition depth ``dp`` used.
     """
@@ -41,18 +44,19 @@ class Partitioning:
 
     @property
     def num_partitions(self) -> int:
-        """Number of partitions generated."""
-        return len(self.members)
+        """Number of live (non-tombstone) partitions."""
+        return sum(1 for member_list in self.members if member_list)
 
     def partition_sizes(self) -> List[int]:
-        """Vertex count of every partition."""
-        return [len(member_list) for member_list in self.members]
+        """Vertex count of every live partition."""
+        return [len(member_list) for member_list in self.members if member_list]
 
     def average_partition_size(self) -> float:
-        """Mean number of vertices per partition."""
-        if not self.members:
+        """Mean number of vertices per live partition."""
+        sizes = self.partition_sizes()
+        if not sizes:
             return 0.0
-        return sum(self.partition_sizes()) / len(self.members)
+        return sum(sizes) / len(sizes)
 
 
 def partition_hypergraph(graph: HyperGraph, depth: int) -> Partitioning:

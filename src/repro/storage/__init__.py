@@ -101,6 +101,8 @@ class StorageSystem:
         self.buffer_pool = BufferPool(self.disk, capacity=self.config.buffer_blocks)
         self._files: Dict[str, BlockFile] = {}
         self._tables: Dict[str, ExternalHashTable] = {}
+        self._reclaims = 0
+        self._reclaimed_blocks = 0
         catalog = self.disk.get_metadata(_CATALOG_KEY)
         if catalog is not None:
             self._restore_catalog(catalog)
@@ -165,6 +167,34 @@ class StorageSystem:
         """True when a block file named ``name`` is registered."""
         return name in self._files
 
+    def has_hashtable(self, name: str) -> bool:
+        """True when a hash table named ``name`` is registered."""
+        return name in self._tables
+
+    def blockfile_names(self) -> List[str]:
+        """Names of every registered block file, in registration order."""
+        return list(self._files)
+
+    def drop_blockfile(self, name: str) -> int:
+        """Unregister block file ``name``: its blocks become garbage.
+
+        The file leaves the catalog (and therefore the durable manifest at
+        the next flush); every block it occupied — live extents and its
+        superseded ledger alike — turns into reclaimable garbage.  Returns
+        the number of blocks that were still live in the file.
+        """
+        blockfile = self._files.pop(name, None)
+        if blockfile is None:
+            raise StorageError(f"no block file {name!r} in {self.name!r}")
+        return blockfile.num_blocks
+
+    def drop_hashtable(self, name: str) -> int:
+        """Unregister hash table ``name``: its bucket blocks become garbage."""
+        table = self._tables.pop(name, None)
+        if table is None:
+            raise StorageError(f"no hash table {name!r} in {self.name!r}")
+        return table.num_buckets
+
     # ------------------------------------------------------------------
     # durability
     # ------------------------------------------------------------------
@@ -197,6 +227,76 @@ class StorageSystem:
         self.buffer_pool.flush()
         self.disk.put_metadata(_CATALOG_KEY, self._build_catalog())
         self.disk.flush()
+
+    # ------------------------------------------------------------------
+    # space reclamation
+    # ------------------------------------------------------------------
+    @property
+    def live_blocks(self) -> int:
+        """Blocks referenced by a registered file extent or table bucket."""
+        return sum(f.num_blocks for f in self._files.values()) + sum(
+            t.num_buckets for t in self._tables.values()
+        )
+
+    @property
+    def garbage_blocks(self) -> int:
+        """Allocated blocks no live structure references (reclaimable)."""
+        return self.disk.num_blocks - self.live_blocks
+
+    @property
+    def garbage_ratio(self) -> float:
+        """Fraction of the device that is garbage (0.0 on an empty device)."""
+        total = self.disk.num_blocks
+        if total == 0:
+            return 0.0
+        return self.garbage_blocks / total
+
+    @property
+    def reclaims(self) -> int:
+        """Completed :meth:`reclaim` passes that actually freed blocks."""
+        return self._reclaims
+
+    @property
+    def reclaimed_blocks(self) -> int:
+        """Total blocks freed by :meth:`reclaim` over this system's life."""
+        return self._reclaimed_blocks
+
+    def reclaim(self) -> int:
+        """Copy live blocks forward, dropping every garbage block.  Durable.
+
+        The device-level GC pass: collects the live block set from every
+        registered file and table, builds an order-preserving dense remap,
+        stages the remapped catalog, and hands the copy-forward to the
+        backend — whose manifest write is the commit point (``gc-post-copy``
+        / ``gc-pre-commit`` fault points sit around it), so a ``kill -9``
+        anywhere reattaches to either the old image or the reclaimed one.
+        Afterwards the device holds exactly the live blocks, every
+        superseded ledger is zero, and the buffer pool has been invalidated
+        (frames were keyed by pre-reclaim ids).  Returns the number of
+        blocks freed (0 when the device had no garbage).
+        """
+        self.buffer_pool.flush()
+        live: List[int] = []
+        for blockfile in self._files.values():
+            for key in blockfile.extent_keys():
+                live.extend(blockfile.extent(key).block_ids)
+        for table in self._tables.values():
+            live.extend(table.bucket_blocks)
+        live.sort()
+        freed = self.disk.num_blocks - len(live)
+        if freed <= 0:
+            return 0
+        remap = {old_id: new_id for new_id, old_id in enumerate(live)}
+        for blockfile in self._files.values():
+            blockfile.remap_blocks(remap)
+        for table in self._tables.values():
+            table.remap_blocks(remap)
+        self.disk.put_metadata(_CATALOG_KEY, self._build_catalog())
+        self.disk.reclaim(remap, len(live))
+        self.buffer_pool.invalidate()
+        self._reclaims += 1
+        self._reclaimed_blocks += freed
+        return freed
 
     def close(self) -> None:
         """Flush everything and release the device.  Idempotent."""

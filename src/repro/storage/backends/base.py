@@ -22,12 +22,17 @@ from __future__ import annotations
 import os
 import pickle
 from abc import ABC, abstractmethod
-from typing import Any, ClassVar, Dict, List, Optional
+from typing import Any, ClassVar, Dict, List, Mapping, Optional
 
 from ...core.errors import BlockOutOfRangeError, StorageError
 from ..stats import IOStats
 
-__all__ = ["StorageBackend", "load_manifest_sidecar", "write_manifest_sidecar"]
+__all__ = [
+    "StorageBackend",
+    "load_manifest_sidecar",
+    "redo_reclaim_swap",
+    "write_manifest_sidecar",
+]
 
 
 def write_manifest_sidecar(path: str, manifest: Dict[str, Any]) -> None:
@@ -45,6 +50,35 @@ def write_manifest_sidecar(path: str, manifest: Dict[str, Any]) -> None:
         sidecar.flush()
         os.fsync(sidecar.fileno())
     os.replace(temp_path, path)
+
+
+def redo_reclaim_swap(path: str, manifest_path: str, expected_version: int) -> None:
+    """Finish (or abandon) a copy-forward reclaim interrupted by a crash.
+
+    Persistent backends commit a :meth:`StorageBackend.reclaim` by writing a
+    manifest that carries ``log: "gc"`` *before* the compacted sidecar
+    (``<path>.gc``) replaces the device file.  Run at attach time, before the
+    device is opened, this redoes or rolls back whatever half of the swap a
+    crash left behind:
+
+    * manifest says ``gc`` and the sidecar exists — the commit happened but
+      the swap did not: perform the :func:`os.replace` now.
+    * manifest says ``gc`` and the sidecar is gone — the swap happened but
+      the manifest rewrite did not: the manifest's directory already
+      describes the (swapped-in) device file, so only the flag is cleared.
+    * manifest does not say ``gc`` but a sidecar exists — an uncommitted
+      copy from a reclaim that crashed before its commit point: delete it;
+      the old device file is still authoritative.
+    """
+    gc_path = path + ".gc"
+    manifest = load_manifest_sidecar(manifest_path, expected_version)
+    if manifest is not None and manifest.get("log") == "gc":
+        if os.path.exists(gc_path):
+            os.replace(gc_path, path)
+        committed = {key: value for key, value in manifest.items() if key != "log"}
+        write_manifest_sidecar(manifest_path, committed)
+    elif os.path.exists(gc_path):
+        os.remove(gc_path)
 
 
 def load_manifest_sidecar(path: str, expected_version: int) -> Optional[Dict[str, Any]]:
@@ -227,6 +261,45 @@ class StorageBackend(ABC):
             return
         self._close_device()
         self._closed = True
+
+    # ------------------------------------------------------------------
+    # space reclamation
+    # ------------------------------------------------------------------
+    def reclaim(self, remap: Mapping[int, int], new_num_blocks: int) -> None:
+        """Copy live blocks forward and shrink the device to their footprint.
+
+        ``remap`` maps every *live* old block id to its new id; any allocated
+        block missing from ``remap`` is garbage and is dropped.  The caller
+        (:meth:`repro.storage.StorageSystem.reclaim`) guarantees the mapping
+        is order-preserving and dense over ``range(new_num_blocks)``, and has
+        already staged remapped catalog metadata through the metadata
+        channel, so the commit the backend performs carries a consistent
+        directory *and* catalog.
+
+        Persistent backends commit through their manifest (with the
+        ``gc-post-copy`` / ``gc-pre-commit`` fault points around the commit
+        point); a crash anywhere inside leaves a device that reattaches to
+        either the old image or the fully reclaimed one, never a mixture.
+        """
+        self._ensure_open()
+        if new_num_blocks < 0 or new_num_blocks > self._num_blocks:
+            raise StorageError(
+                f"reclaim target of {new_num_blocks} blocks is outside the "
+                f"device ({self._num_blocks} blocks)"
+            )
+        for old_id, new_id in remap.items():
+            if not (0 <= old_id < self._num_blocks and 0 <= new_id < new_num_blocks):
+                raise StorageError(
+                    f"reclaim remap {old_id} -> {new_id} is out of range"
+                )
+        self._reclaim_device(remap, new_num_blocks)
+        self._num_blocks = new_num_blocks
+
+    def _reclaim_device(self, remap: Mapping[int, int], new_num_blocks: int) -> None:
+        """Backend-specific half of :meth:`reclaim` (see its contract)."""
+        raise StorageError(
+            f"storage backend {self.name!r} does not support reclaim"
+        )
 
     # ------------------------------------------------------------------
     # metadata channel

@@ -26,10 +26,16 @@ import os
 import pickle
 import struct
 from collections import OrderedDict
-from typing import Any, ClassVar, Dict, Optional, Tuple
+from typing import Any, ClassVar, Dict, Mapping, Optional, Tuple
 
 from ...core.errors import StorageError
-from .base import StorageBackend, load_manifest_sidecar, write_manifest_sidecar
+from ...testing.faults import crash_point
+from .base import (
+    StorageBackend,
+    load_manifest_sidecar,
+    redo_reclaim_swap,
+    write_manifest_sidecar,
+)
 
 __all__ = ["FileBackend"]
 
@@ -60,6 +66,10 @@ class FileBackend(StorageBackend):
         self._page_cache: "OrderedDict[int, Any]" = OrderedDict()
         #: block_id -> (log offset, payload length) of the live version.
         self._directory: Dict[int, Tuple[int, int]] = {}
+        # A crash mid-reclaim can leave a committed-but-unswapped compacted
+        # image (or an uncommitted stray one); settle that before the device
+        # file is opened or sized.
+        redo_reclaim_swap(self._path, self._manifest_path, _MANIFEST_VERSION)
         # A device with zero written blocks has an empty log, so the manifest
         # sidecar alone can mark an attachable (metadata-only) device.
         log_present = os.path.exists(self._path)
@@ -127,6 +137,52 @@ class FileBackend(StorageBackend):
     def _close_device(self) -> None:
         self._handle.close()
         self._page_cache.clear()
+
+    # ------------------------------------------------------------------
+    # space reclamation
+    # ------------------------------------------------------------------
+    def _reclaim_device(self, remap: Mapping[int, int], new_num_blocks: int) -> None:
+        # Copy the live record versions, in new-id order, into a compacted
+        # sidecar log; superseded versions and dropped blocks are simply not
+        # copied, so the log shrinks to exactly the live payload bytes.
+        gc_path = self._path + ".gc"
+        directory: Dict[int, Tuple[int, int]] = {}
+        tail = 0
+        with open(gc_path, "wb") as compacted:
+            for old_id in sorted(remap):
+                located = self._directory.get(old_id)
+                if located is None:
+                    continue  # allocated but never written: nothing to copy
+                offset, length = located
+                self._handle.seek(offset)
+                blob = self._handle.read(length)
+                new_id = remap[old_id]
+                compacted.write(_HEADER.pack(new_id, length))
+                compacted.write(blob)
+                directory[new_id] = (tail + _HEADER.size, length)
+                tail += _HEADER.size + length
+            compacted.flush()
+            os.fsync(compacted.fileno())
+        crash_point("gc-post-copy")
+        manifest = {
+            "version": _MANIFEST_VERSION,
+            "num_blocks": new_num_blocks,
+            "directory": directory,
+            "tail": tail,
+            "metadata": dict(self._metadata),
+        }
+        crash_point("gc-pre-commit")
+        # THE commit: after this manifest lands, attach redoes the swap even
+        # if the process dies before the os.replace below (see
+        # redo_reclaim_swap); before it, the old image stays authoritative.
+        write_manifest_sidecar(self._manifest_path, dict(manifest, log="gc"))
+        self._handle.close()
+        os.replace(gc_path, self._path)
+        self._handle = open(self._path, "r+b")
+        self._directory = directory
+        self._tail = tail
+        self._page_cache.clear()
+        write_manifest_sidecar(self._manifest_path, manifest)
 
     # ------------------------------------------------------------------
     # reopen

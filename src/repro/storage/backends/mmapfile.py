@@ -23,10 +23,16 @@ import mmap
 import os
 import pickle
 import struct
-from typing import Any, ClassVar, Dict, Optional
+from typing import Any, ClassVar, Dict, Mapping, Optional
 
 from ...core.errors import StorageError
-from .base import StorageBackend, load_manifest_sidecar, write_manifest_sidecar
+from ...testing.faults import crash_point
+from .base import (
+    StorageBackend,
+    load_manifest_sidecar,
+    redo_reclaim_swap,
+    write_manifest_sidecar,
+)
 
 __all__ = ["MmapBackend"]
 
@@ -62,6 +68,9 @@ class MmapBackend(StorageBackend):
             raise StorageError("initial_slots must be positive")
         self._path = os.fspath(path)
         self._overflow: Dict[int, bytes] = {}
+        # Settle any half-swapped reclaim image before the file is opened,
+        # sized, or mapped (see redo_reclaim_swap).
+        redo_reclaim_swap(self._path, self._manifest_path, _MANIFEST_VERSION)
         existing = os.path.exists(self._path) and os.path.getsize(self._path) > 0
         self._file = open(self._path, "r+b" if existing else "w+b")
         if existing:
@@ -158,6 +167,65 @@ class MmapBackend(StorageBackend):
     def _close_device(self) -> None:
         self._map.close()
         self._file.close()
+
+    # ------------------------------------------------------------------
+    # space reclamation
+    # ------------------------------------------------------------------
+    def _reclaim_device(self, remap: Mapping[int, int], new_num_blocks: int) -> None:
+        # Build a compacted slot array sized to exactly the live blocks: this
+        # is where the mmap file actually shrinks (``_grow`` only ever
+        # doubles), recycling every slot a superseded block occupied.
+        gc_path = self._path + ".gc"
+        capacity = max(1, new_num_blocks)
+        overflow: Dict[int, bytes] = {}
+        with open(gc_path, "wb") as compacted:
+            compacted.write(
+                _FILE_HEADER.pack(_MAGIC, _MANIFEST_VERSION, self._slot_bytes)
+            )
+            compacted.truncate(_FILE_HEADER.size + capacity * self._slot_bytes)
+            for old_id in sorted(remap):
+                offset = self._slot_offset(old_id)
+                header = self._map[offset : offset + _SLOT_HEADER.size]
+                flag, length = _SLOT_HEADER.unpack(header)
+                if flag == _FLAG_EMPTY:
+                    continue  # allocated but never written: stays empty
+                new_id = remap[old_id]
+                compacted.seek(_FILE_HEADER.size + new_id * self._slot_bytes)
+                if flag == _FLAG_OVERFLOW:
+                    blob = self._overflow.get(old_id)
+                    if blob is None:
+                        raise StorageError(
+                            f"block {old_id} of {self._path!r} spilled past "
+                            "the slot capacity and its overflow payload was "
+                            "lost — cannot reclaim an unflushed device"
+                        )
+                    compacted.write(header)
+                    overflow[new_id] = blob
+                else:
+                    compacted.write(
+                        self._map[offset : offset + _SLOT_HEADER.size + length]
+                    )
+            compacted.flush()
+            os.fsync(compacted.fileno())
+        crash_point("gc-post-copy")
+        manifest = {
+            "version": _MANIFEST_VERSION,
+            "num_blocks": new_num_blocks,
+            "metadata": dict(self._metadata),
+            "overflow": overflow,
+        }
+        crash_point("gc-pre-commit")
+        # THE commit (see FileBackend._reclaim_device): the gc-flagged
+        # manifest makes attach finish the swap if the process dies here.
+        write_manifest_sidecar(self._manifest_path, dict(manifest, log="gc"))
+        self._map.close()
+        self._file.close()
+        os.replace(gc_path, self._path)
+        self._file = open(self._path, "r+b")
+        self._capacity = capacity
+        self._map = mmap.mmap(self._file.fileno(), 0)
+        self._overflow = overflow
+        write_manifest_sidecar(self._manifest_path, manifest)
 
     # ------------------------------------------------------------------
     # reopen

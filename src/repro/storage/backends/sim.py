@@ -11,7 +11,7 @@ workloads against a real on-disk layout.
 
 from __future__ import annotations
 
-from typing import Any, ClassVar, List
+from typing import Any, ClassVar, List, Mapping
 
 from .base import StorageBackend
 
@@ -36,3 +36,9 @@ class SimulatedBackend(StorageBackend):
 
     def _load(self, block_id: int) -> Any:
         return self._blocks[block_id]
+
+    def _reclaim_device(self, remap: Mapping[int, int], new_num_blocks: int) -> None:
+        compacted: List[Any] = [None] * new_num_blocks
+        for old_id, new_id in remap.items():
+            compacted[new_id] = self._blocks[old_id]
+        self._blocks = compacted

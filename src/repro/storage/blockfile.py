@@ -127,6 +127,43 @@ class BlockFile:
         self._superseded_blocks += old.num_blocks
         return extent
 
+    def drop_extent(self, key: Any) -> int:
+        """Retire extent ``key``: its blocks become on-device garbage.
+
+        The truncation/retirement hook (checkpointed WAL prefixes, folded
+        snapshot runs): the extent leaves the directory — and therefore the
+        durable catalog at the next flush — and its blocks join
+        :attr:`superseded_blocks`, where a later
+        :meth:`~repro.storage.StorageSystem.reclaim` can recycle them.
+        Returns the number of blocks retired.
+        """
+        extent = self._extents.pop(key, None)
+        if extent is None:
+            raise StorageError(f"cannot drop unknown extent {key!r} in {self.name}")
+        self._order.remove(key)
+        self._superseded_blocks += extent.num_blocks
+        return extent.num_blocks
+
+    def remap_blocks(self, remap: Dict[int, int]) -> None:
+        """Repoint every extent after a copy-forward device reclaim.
+
+        ``remap`` is the old-id → new-id mapping the reclaim applied.  It is
+        order-preserving and dense over the live blocks, so a live extent's
+        contiguous block range stays contiguous — only ``first_block`` moves.
+        The superseded ledger resets to zero: the garbage it counted no
+        longer exists on the device.
+        """
+        for key, extent in list(self._extents.items()):
+            if extent.num_blocks == 0:
+                continue
+            self._extents[key] = Extent(
+                key=extent.key,
+                first_block=remap[extent.first_block],
+                num_blocks=extent.num_blocks,
+                num_records=extent.num_records,
+            )
+        self._superseded_blocks = 0
+
     def adopt_extents(self, extents: Sequence[Extent]) -> None:
         """Re-register extents whose blocks already live on the device.
 

@@ -94,6 +94,14 @@ class ExternalHashTable:
         self._num_buckets = len(self._bucket_blocks)
         self._built = True
 
+    def remap_blocks(self, remap: Dict[int, int]) -> None:
+        """Repoint every bucket after a copy-forward device reclaim.
+
+        ``remap`` is the old-id → new-id mapping the reclaim applied; bucket
+        payloads are untouched, only their block ids move.
+        """
+        self._bucket_blocks = [remap[block_id] for block_id in self._bucket_blocks]
+
     def update(self, key: Hashable, value: Any) -> None:
         """Overwrite (or insert) one entry in place (one bucket read + write).
 

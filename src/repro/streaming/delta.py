@@ -114,16 +114,27 @@ class DeltaGraph:
 
 
 class _SnapshotRun:
-    """One sorted run of interval-keyed contact extents (an LSM level-0 file)."""
+    """One sorted run of interval-keyed contact extents (an LSM run).
 
-    __slots__ = ("file", "max_end", "num_contacts")
+    ``level`` places the run in the store's size-ratio hierarchy: fresh
+    merges append at level 0, and each compaction folds an overfull level's
+    runs into a single run one level up, so a run at level ``L`` holds on
+    the order of ``fanout**L`` merges' worth of contacts.
+    """
+
+    __slots__ = ("file", "max_end", "num_contacts", "level")
 
     def __init__(
-        self, file: BlockFile, max_end: Dict[int, TimeInstant], num_contacts: int
+        self,
+        file: BlockFile,
+        max_end: Dict[int, TimeInstant],
+        num_contacts: int,
+        level: int = 0,
     ) -> None:
         self.file = file
         self.max_end = max_end
         self.num_contacts = num_contacts
+        self.level = level
 
 
 class ContactSnapshotStore:
@@ -136,13 +147,19 @@ class ContactSnapshotStore:
     so a read for a query interval skips extents that cannot overlap it
     without paying any IO.
 
-    Each merge appends the freshly frozen contacts as a new run
-    (:meth:`append_run`) instead of rewriting the whole prefix; once the run
-    count passes the configured threshold, :meth:`compact` folds every live
-    run into a single consolidated one, superseding the old extents.  The
-    device is append-only, so superseded extents stay on disk as garbage —
-    :attr:`superseded_blocks` counts them, and :attr:`records_written` is the
-    cumulative write-amplification ledger the tests compare against the
+    Each merge appends the freshly frozen contacts as a new level-0 run
+    (:meth:`append_run`) instead of rewriting the whole prefix; once any
+    level holds more runs than the configured fanout, :meth:`maybe_compact`
+    folds that level's runs into a single run one level up (size-ratio
+    leveled compaction — a record at level ``L`` is rewritten only when
+    roughly ``fanout**L`` merges' worth of newer contacts have accumulated
+    below it, which bounds write amplification to ``O(levels)`` per record
+    on unbounded streams where the old all-runs fold paid ``O(merges)``).
+    Retired run files leave the storage catalog, so their blocks become
+    reclaimable garbage: :attr:`superseded_blocks` counts them until a
+    device :meth:`~repro.storage.StorageSystem.reclaim` recycles them, and
+    :attr:`records_written` / :attr:`level_records_written` are the
+    cumulative write-amplification ledgers the tests compare against the
     rebuild-from-scratch path.
     """
 
@@ -163,6 +180,7 @@ class ContactSnapshotStore:
         self._runs: List[_SnapshotRun] = []
         self._run_counter = 0
         self._records_written = 0
+        self._level_records_written: Dict[int, int] = {}
         self._superseded_blocks = 0
         self._compactions = 0
         initial = list(contacts)
@@ -185,7 +203,9 @@ class ContactSnapshotStore:
             grouped.setdefault(index, []).append(record)
         return grouped
 
-    def _write_run(self, grouped: Dict[int, List[ContactRecord]]) -> _SnapshotRun:
+    def _write_run(
+        self, grouped: Dict[int, List[ContactRecord]], level: int = 0
+    ) -> _SnapshotRun:
         self._run_counter += 1
         file = self._storage.new_blockfile(f"{self._name}-run{self._run_counter}")
         max_end: Dict[int, TimeInstant] = {}
@@ -196,7 +216,10 @@ class ContactSnapshotStore:
             max_end[index] = max(record[3] for record in records)
             count += len(records)
         self._records_written += count
-        return _SnapshotRun(file, max_end, count)
+        self._level_records_written[level] = (
+            self._level_records_written.get(level, 0) + count
+        )
+        return _SnapshotRun(file, max_end, count, level=level)
 
     def append_run(self, contacts: Iterable[Contact]) -> int:
         """Append one run holding ``contacts``; returns the records written.
@@ -212,31 +235,69 @@ class ContactSnapshotStore:
         self._runs.append(run)
         return run.num_contacts
 
-    def compact(self) -> int:
-        """Fold every live run into one consolidated run.
+    def _fold(self, runs: List[_SnapshotRun], level: int) -> int:
+        """Fold ``runs`` into a single fresh run at ``level``.
 
-        Returns the number of records rewritten (0 when fewer than two runs
-        are live — compacting a single run would be pure write amplification).
-        The old runs' extents are superseded: still on the append-only device,
-        no longer referenced by any read.
+        The shared compaction core: the merged run is written first, the
+        ``compaction-mid`` fault point sits between that write and the
+        retirement of the old runs, and retirement both supersedes the old
+        extents *and* drops the old run files from the storage catalog so
+        their blocks become reclaimable garbage.
         """
-        if len(self._runs) <= 1:
-            return 0
         merged: Dict[int, List[ContactRecord]] = {}
         superseded = 0
-        for run in self._runs:
+        for run in runs:
             superseded += run.file.num_blocks
             for index in run.file.extent_keys():
                 merged.setdefault(index, []).extend(run.file.read_extent(index))
-        run = self._write_run(merged)
+        folded = self._write_run(merged, level=level)
         # The consolidated run is written but the old runs are still live: a
         # crash here must reopen through the previous manifest, which only
         # names the old runs (the new file is unreferenced garbage).
         crash_point("compaction-mid")
+        position = self._runs.index(runs[0])
+        retained = [run for run in self._runs if run not in runs]
+        retained.insert(min(position, len(retained)), folded)
+        self._runs = retained
+        for run in runs:
+            self._storage.drop_blockfile(run.file.name)
         self._superseded_blocks += superseded
-        self._runs = [run]
         self._compactions += 1
-        return run.num_contacts
+        return folded.num_contacts
+
+    def compact(self) -> int:
+        """Fold every live run into one consolidated top-level run.
+
+        Returns the number of records rewritten (0 when fewer than two runs
+        are live — compacting a single run would be pure write amplification).
+        The old runs' extents are superseded and their files leave the
+        storage catalog, so the blocks they occupied are reclaimable.
+        """
+        if len(self._runs) <= 1:
+            return 0
+        top = max(run.level for run in self._runs) + 1
+        return self._fold(list(self._runs), top)
+
+    def maybe_compact(self, fanout: int) -> int:
+        """Run size-ratio leveled compaction with the given per-level fanout.
+
+        Whenever a level holds more than ``fanout`` runs, its runs fold into
+        a single run one level up; the fold cascades while the promotion
+        overfills the next level in turn.  Returns the total records
+        rewritten (0 when every level was within bounds).
+        """
+        if fanout <= 0:
+            raise StreamingError("compaction fanout must be positive")
+        rewritten = 0
+        while True:
+            levels: Dict[int, List[_SnapshotRun]] = {}
+            for run in self._runs:
+                levels.setdefault(run.level, []).append(run)
+            overfull = [lvl for lvl, runs in levels.items() if len(runs) > fanout]
+            if not overfull:
+                return rewritten
+            level = min(overfull)
+            rewritten += self._fold(levels[level], level + 1)
 
     # ------------------------------------------------------------------
     # introspection
@@ -253,8 +314,20 @@ class ContactSnapshotStore:
 
     @property
     def num_runs(self) -> int:
-        """Live runs (1 right after a compaction or a full rebuild)."""
+        """Live runs (1 right after a full fold or a full rebuild)."""
         return len(self._runs)
+
+    @property
+    def runs_per_level(self) -> Dict[int, int]:
+        """Live run count per level.
+
+        After :meth:`maybe_compact` every value is at most the fanout — the
+        leveled invariant the space tests pin down.
+        """
+        counts: Dict[int, int] = {}
+        for run in self._runs:
+            counts[run.level] = counts.get(run.level, 0) + 1
+        return counts
 
     @property
     def records_written(self) -> int:
@@ -270,6 +343,15 @@ class ContactSnapshotStore:
     def compactions(self) -> int:
         """Number of compactions performed."""
         return self._compactions
+
+    @property
+    def level_records_written(self) -> Dict[int, int]:
+        """Cumulative records written per level (the write-amp breakdown)."""
+        return dict(self._level_records_written)
+
+    def reset_superseded(self) -> None:
+        """Zero the superseded ledger after a device reclaim recycled it."""
+        self._superseded_blocks = 0
 
     # ------------------------------------------------------------------
     # reading
@@ -301,6 +383,7 @@ class ContactSnapshotStore:
             "name": self._name,
             "run_counter": self._run_counter,
             "records_written": self._records_written,
+            "level_records_written": dict(self._level_records_written),
             "superseded_blocks": self._superseded_blocks,
             "compactions": self._compactions,
             "runs": [
@@ -308,6 +391,7 @@ class ContactSnapshotStore:
                     "file": run.file.name,
                     "max_end": dict(run.max_end),
                     "num_contacts": run.num_contacts,
+                    "level": run.level,
                 }
                 for run in self._runs
             ],
@@ -331,6 +415,9 @@ class ContactSnapshotStore:
         )
         store._run_counter = manifest["run_counter"]  # type: ignore[assignment]
         store._records_written = manifest["records_written"]  # type: ignore[assignment]
+        store._level_records_written = dict(
+            manifest.get("level_records_written", {})  # type: ignore[arg-type]
+        )
         store._superseded_blocks = manifest["superseded_blocks"]  # type: ignore[assignment]
         store._compactions = manifest["compactions"]  # type: ignore[assignment]
         for entry in manifest["runs"]:  # type: ignore[union-attr]
@@ -339,8 +426,17 @@ class ContactSnapshotStore:
                     storage.blockfile(entry["file"]),
                     dict(entry["max_end"]),
                     entry["num_contacts"],
+                    level=entry.get("level", 0),  # type: ignore[union-attr]
                 )
             )
+        # A crash between a fold's run write and the manifest commit leaves
+        # the folded run's file in the durable catalog but out of the run
+        # list.  Drop those orphans so they don't count as live forever.
+        referenced = {run.file.name for run in store._runs}
+        prefix = f"{store._name}-run"
+        for name in storage.blockfile_names():
+            if name.startswith(prefix) and name not in referenced:
+                storage.drop_blockfile(name)
         return store
 
 
@@ -509,9 +605,26 @@ class ReachGraphDeltaOverlay:
         return appended
 
     def _retire_processor(self) -> None:
-        """Fold the outgoing index's garbage counter into the overlay's base."""
+        """Fold the outgoing index's garbage counter into the overlay's base.
+
+        When the retired index lives on this overlay's own device, its
+        partition file and object index also leave the storage catalog: the
+        replacement index supersedes them completely, so keeping them
+        cataloged would pin their blocks as live forever and starve
+        :meth:`~repro.storage.StorageSystem.reclaim`.
+        """
         if self._processor is not None:
-            self._graph_superseded_base += self._processor.index.superseded_blocks
+            index = self._processor.index
+            self._graph_superseded_base += index.superseded_blocks
+            if index.is_placed and index.storage is self._storage:
+                retired = 0
+                partitions = f"{index.name}-partitions"
+                if self._storage.has_blockfile(partitions):
+                    retired += self._storage.drop_blockfile(partitions)
+                table = f"{index.name}-object-index"
+                if self._storage.has_hashtable(table):
+                    retired += self._storage.drop_hashtable(table)
+                self._graph_superseded_base += retired
         self._processor = None
 
     def graph_frontier(self) -> Optional["GraphFrontier"]:
@@ -527,14 +640,28 @@ class ReachGraphDeltaOverlay:
             return None
         return self._processor.index.frontier()
 
-    def maybe_compact(self, max_runs: int) -> int:
-        """Compact the snapshot store once it holds more than ``max_runs`` runs.
+    def maybe_compact(self, fanout: int) -> int:
+        """Run the store's leveled compaction with per-level ``fanout``.
 
-        Returns the records rewritten (0 when no compaction was due).
+        Returns the records rewritten (0 when every level was within bounds
+        or no snapshot store exists yet).
         """
-        if self._store is None or self._store.num_runs <= max_runs:
+        if self._store is None:
             return 0
-        return self._store.compact()
+        return self._store.maybe_compact(fanout)
+
+    def note_device_reclaimed(self) -> None:
+        """Zero the overlay-level superseded ledgers after a device reclaim.
+
+        The garbage those ledgers counted no longer exists on the device:
+        the store's compaction ledger and the overlay's retired-graph base
+        reset so the next reclaim trigger measures only garbage created
+        *after* this one.  (The live index's own counter is the partition
+        file's ledger, which the reclaim's block remap already zeroed.)
+        """
+        if self._store is not None:
+            self._store.reset_superseded()
+        self._graph_superseded_base = 0
 
     # ------------------------------------------------------------------
     # persistence (used by the service's close/reopen cycle)
@@ -624,6 +751,16 @@ class ReachGraphDeltaOverlay:
     def snapshot_superseded_blocks(self) -> int:
         """Store blocks orphaned by compactions (0 before any merge)."""
         return self._store.superseded_blocks if self._store is not None else 0
+
+    @property
+    def snapshot_compactions(self) -> int:
+        """Compactions the snapshot store has performed (0 before any merge)."""
+        return self._store.compactions if self._store is not None else 0
+
+    @property
+    def snapshot_level_records(self) -> Dict[int, int]:
+        """Per-level records written by the store (empty before any merge)."""
+        return self._store.level_records_written if self._store is not None else {}
 
     @property
     def graph_records_written(self) -> int:

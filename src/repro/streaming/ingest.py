@@ -25,7 +25,7 @@ keeps ingestion strictly append-only.
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..core.config import ContactConfig, ReachGridConfig, StorageConfig
 from ..core.errors import StreamingError, WatermarkRegressionError
@@ -34,6 +34,7 @@ from ..contacts.join import pairs_within_distance
 from ..contacts.network import Contact
 from ..reachgrid.cells import clamped_spatial_cell, grid_axis_cells
 from ..storage import StorageSystem
+from ..testing.faults import crash_point
 from ..trajectory.model import Trajectory, TrajectoryDataset
 from .events import SampleEvent, StreamBatch
 
@@ -278,6 +279,10 @@ class StreamIngestor:
             for col_row in sorted(cells):
                 records = sorted(cells[col_row], key=lambda r: (r[1], r[0]))
                 key: CellKey = (interval_index, col_row[0], col_row[1])
+                if self._replaying and self._cells_file.has_extent(key):
+                    # Tail replay past a snapshot: the previous incarnation
+                    # already placed this cell and the catalog kept it.
+                    continue
                 self._cells_file.append_extent(key, records)
             self._flushed_intervals += 1
 
@@ -293,20 +298,92 @@ class StreamIngestor:
             "spatial_resolution": self.grid_config.spatial_resolution,
             "journal_entries": self._journal_entries,
             "flushed_intervals": self._flushed_intervals,
+            "state": self._state_snapshot(),
         }
+
+    def _state_snapshot(self) -> Dict[str, object]:
+        """The complete in-memory ingest state, as plain picklable structures.
+
+        What makes WAL truncation sound: once the checkpoint carries this,
+        :meth:`restore` no longer needs the journaled prefix — the snapshot
+        *is* the replay result — so :meth:`flush` may drop every checkpointed
+        journal extent instead of letting the journal grow with the stream.
+        """
+        return {
+            "origin": self._origin,
+            "watermark": self._watermark,
+            "pending": {
+                t: {obj: (p.x, p.y) for obj, p in positions.items()}
+                for t, positions in self._pending.items()
+            },
+            "positions": {
+                obj: [(p.x, p.y) for p in positions]
+                for obj, positions in self._positions.items()
+            },
+            "starts": dict(self._starts),
+            "memtable": {
+                interval: {col_row: list(records) for col_row, records in cells.items()}
+                for interval, cells in self._memtable.items()
+            },
+            "previous_pairs": sorted(self._previous_pairs),
+            "open": sorted(self._open.items()),
+            "closed": [
+                (c.first, c.second, c.validity.start, c.validity.end)
+                for c in self._closed
+            ],
+            "num_events": self._num_events,
+            "ingest_seconds": self._ingest_seconds,
+        }
+
+    def _load_state(self, state: Dict[str, Any]) -> None:
+        """Adopt a checkpointed state snapshot (restore path, no replay)."""
+        self._origin = state["origin"]
+        self._watermark = state["watermark"]
+        self._pending = {
+            t: {obj: Point(x, y) for obj, (x, y) in positions.items()}
+            for t, positions in state["pending"].items()
+        }
+        self._positions = {
+            obj: [Point(x, y) for x, y in positions]
+            for obj, positions in state["positions"].items()
+        }
+        self._starts = dict(state["starts"])
+        self._memtable = {
+            interval: {col_row: list(records) for col_row, records in cells.items()}
+            for interval, cells in state["memtable"].items()
+        }
+        self._previous_pairs = {
+            (first, second) for first, second in state["previous_pairs"]
+        }
+        self._open = {
+            (first, second): start
+            for (first, second), start in state["open"]
+        }
+        self._closed = [
+            Contact(first, second, TimeInterval(start, end))
+            for first, second, start, end in state["closed"]
+        ]
+        self._num_events = state["num_events"]
+        self._ingest_seconds = state["ingest_seconds"]
 
     def flush(self) -> None:
         """Make everything ingested so far durable (no-op on the sim backend).
 
-        Writes the WAL checkpoint — the grid geometry plus how many journaled
-        batches and flushed grid intervals are committed — into the device
-        metadata and flushes the device.  The checkpoint and the storage
-        catalog land in the same atomic manifest write, so a restored device
-        always pairs a checkpoint with exactly the extents it names:
-        :meth:`restore` re-ingests the journaled batches to rebuild the
-        in-memory join state, positions, and memtable.
+        Writes the WAL checkpoint — the grid geometry, the journal/interval
+        counters, and a complete state snapshot — into the device metadata
+        and flushes the device.  Because the snapshot subsumes the journaled
+        prefix, every journal extent is *dropped* first (WAL truncation): the
+        blocks become reclaimable garbage instead of growing with the
+        stream.  The truncation, the checkpoint, and the storage catalog all
+        land in the same atomic manifest write, so a crash on either side is
+        clean — before the commit the old manifest still names the old
+        journal extents and the old checkpoint replays them; after it the
+        new checkpoint's snapshot stands alone.
         """
+        for key in self._journal.extent_keys():
+            self._journal.drop_extent(key)
         self.storage.put_metadata(_INGEST_CHECKPOINT_KEY, self._checkpoint())
+        crash_point("wal-truncate-pre-commit")
         self.storage.flush()
 
     @classmethod
@@ -342,9 +419,17 @@ class StreamIngestor:
                 name=name,
                 storage=storage,
             )
-            ingestor._replay_journal(
-                checkpoint["journal_entries"], checkpoint["flushed_intervals"]
-            )
+            state = checkpoint.get("state")
+            if state is not None:
+                ingestor._load_state(state)
+                ingestor._journal_entries = checkpoint["journal_entries"]
+                ingestor._replay_tail(checkpoint["journal_entries"])
+            else:
+                # Pre-truncation checkpoint: the journal still holds the full
+                # history, so rebuild the state by replaying it end to end.
+                ingestor._replay_journal(
+                    checkpoint["journal_entries"], checkpoint["flushed_intervals"]
+                )
             return ingestor
         except BaseException:
             storage.close()
@@ -367,6 +452,30 @@ class StreamIngestor:
             self._replaying = False
             self._flushed_floor = 0
         self._journal_entries = entries
+
+    def _replay_tail(self, applied: int) -> None:
+        """Defensively replay cataloged journal extents past the snapshot.
+
+        With truncation the committed catalog normally holds *no* journal
+        extents (the same manifest that named the snapshot dropped them); a
+        cataloged extent with ``seq >= applied`` means a manifest paired a
+        snapshot with batches it does not cover — replay them on top so no
+        durably accepted batch is ever lost.
+        """
+        self._replaying = True
+        try:
+            for key in self._journal.extent_keys():
+                seq, watermark = key
+                if seq < applied:
+                    continue  # covered by the snapshot already
+                samples = tuple(
+                    SampleEvent(object_id, t, Point(x, y))
+                    for object_id, t, x, y in self._journal.read_extent(key)
+                )
+                self.ingest(StreamBatch(samples, watermark), prevalidated=True)
+                self._journal_entries = seq + 1
+        finally:
+            self._replaying = False
 
     # ------------------------------------------------------------------
     # stream position and contact views
@@ -463,6 +572,16 @@ class StreamIngestor:
     def num_flushed_cells(self) -> int:
         """Grid cell extents written to the simulated disk so far."""
         return self._cells_file.num_extents
+
+    @property
+    def journal_blocks(self) -> int:
+        """Device blocks the ingest WAL currently holds.
+
+        Bounded by the batches ingested since the last :meth:`flush` —
+        truncation drops every journal extent at flush time, so this does
+        *not* grow with the stream (the WAL-truncation contract).
+        """
+        return self._journal.num_blocks
 
     @property
     def memtable_records(self) -> int:

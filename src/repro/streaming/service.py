@@ -285,6 +285,9 @@ class StreamingStats:
     graph_superseded_blocks: int
     flushed_intervals: int
     ingest_seconds: float
+    reclaims: int = 0
+    reclaimed_blocks: int = 0
+    graph_repacks: int = 0
 
     @property
     def events_per_second(self) -> float:
@@ -351,6 +354,9 @@ class StreamingReachabilityService:
         self._snapshot_records_written = 0
         self._graph_records_written = 0
         self._graph_rebuilds = 0
+        self._graph_repacks = 0
+        self._reclaims = 0
+        self._reclaimed_blocks = 0
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -592,6 +598,7 @@ class StreamingReachabilityService:
         """
         if build.overlay is not None:
             self.adopt_snapshot(build.overlay, inputs.bound)
+            self._maybe_reclaim()
             return
         assert build.artifacts is not None, "MergeBuild must carry one half"
         graph_written_before = self._overlay.graph_records_written
@@ -612,14 +619,38 @@ class StreamingReachabilityService:
         # the async service: it reads the live runs through the (non-thread-
         # safe) buffer pool that concurrent queries also use, so moving it to
         # a worker thread would race them.  The run append above is the cheap
-        # part; a compaction is bounded by the snapshot size and fires only
-        # once per compaction_max_runs merges.
+        # part; a level-``L`` fold is bounded by the level's size and fires
+        # only once per compaction_max_runs**(L+1) merges.
+        compactions_before = self._overlay.snapshot_compactions
         compacted = self._overlay.maybe_compact(
             self.streaming_config.compaction_max_runs
         )
         if compacted:
             self._snapshot_records_written += compacted
-            self._compactions += 1
+        self._compactions += self._overlay.snapshot_compactions - compactions_before
+        self._maybe_repack()
+        self._maybe_reclaim()
+
+    def _maybe_repack(self) -> None:
+        """Fold cold fragmented graph partitions when the config asks for it.
+
+        Runs on the adopting thread for the same reason compaction does: the
+        fold reads live partitions through the shared buffer pool.  Only an
+        index placed on the overlay's own device is repacked — one attached
+        out-of-band manages its own space.
+        """
+        min_partitions = self.streaming_config.graph_repack_min_partitions
+        if not min_partitions:
+            return
+        processor = self._overlay.snapshot_processor
+        if processor is None:
+            return
+        index = processor.index
+        if not index.is_placed or index.storage is not self._overlay.storage:
+            return
+        repacks_before = index.num_repacks
+        self._graph_records_written += index.repack_frontier(min_partitions)
+        self._graph_repacks += index.num_repacks - repacks_before
 
     def adopt_snapshot(
         self, overlay: ReachGraphDeltaOverlay, bound: TimeInstant
@@ -724,6 +755,39 @@ class StreamingReachabilityService:
         crash_point("flush-post-manifest")
         self._overlay.storage.flush()
 
+    def reclaim(self) -> int:
+        """Copy-forward reclaim of both devices; returns the blocks freed.
+
+        Flushes first: the reclaim's manifest commit carries whatever
+        metadata is current, so the durable overlay/grid manifests must
+        describe the *live* run directory and checkpoint before the catalog
+        is rewritten — otherwise a crash after the reclaim could reopen a
+        manifest naming run files the committed catalog no longer holds.
+        After the device-level reclaim the overlay's superseded ledgers
+        reset (the garbage they counted is gone).
+        """
+        self._ensure_open()
+        self.flush()
+        freed = self._overlay.storage.reclaim()
+        if freed:
+            self._overlay.note_device_reclaimed()
+        freed += self._ingestor.storage.reclaim()
+        if freed:
+            self._reclaims += 1
+            self._reclaimed_blocks += freed
+        return freed
+
+    def _maybe_reclaim(self) -> None:
+        """Reclaim when either device's garbage ratio passes the config knob."""
+        ratio = self.streaming_config.gc_trigger_ratio
+        if ratio <= 0.0:
+            return
+        if (
+            self._overlay.storage.garbage_ratio >= ratio
+            or self._ingestor.storage.garbage_ratio >= ratio
+        ):
+            self.reclaim()
+
     def close(self) -> None:
         """Flush and release both storage systems.  Idempotent.
 
@@ -799,6 +863,21 @@ class StreamingReachabilityService:
         return self._compactions
 
     @property
+    def num_reclaims(self) -> int:
+        """Device reclaim passes that actually freed blocks."""
+        return self._reclaims
+
+    @property
+    def reclaimed_blocks(self) -> int:
+        """Total device blocks freed by reclaim passes."""
+        return self._reclaimed_blocks
+
+    @property
+    def num_graph_repacks(self) -> int:
+        """Frontier repack folds performed on the graph fast path."""
+        return self._graph_repacks
+
+    @property
     def snapshot_records_written(self) -> int:
         """Cumulative contact records written by merges and compactions.
 
@@ -850,6 +929,9 @@ class StreamingReachabilityService:
             graph_superseded_blocks=self._overlay.graph_superseded_blocks,
             flushed_intervals=self._ingestor.num_flushed_intervals,
             ingest_seconds=self._ingestor.ingest_seconds,
+            reclaims=self._reclaims,
+            reclaimed_blocks=self._reclaimed_blocks,
+            graph_repacks=self._graph_repacks,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -82,6 +82,33 @@ FAULT_POINT_DESCRIPTIONS: Dict[str, str] = {
         "durably ahead of the cross-shard state.  Recovery reconciles the "
         "window from the older coordinator commit."
     ),
+    "gc-post-copy": (
+        "Inside a backend's copy-forward reclaim, after the compacted "
+        "sidecar image is written and fsynced but before the manifest "
+        "commits the swap.  The sidecar is uncommitted garbage: recovery "
+        "attaches the old image, deletes the stray sidecar, and loses "
+        "nothing."
+    ),
+    "gc-pre-commit": (
+        "Inside a backend's copy-forward reclaim, immediately before the "
+        "manifest write that commits the compacted image (the remapped "
+        "directory/catalog plus the log='gc' redo flag).  A crash on either "
+        "side of the commit point must recover: before it the old image is "
+        "authoritative; after it, attach redoes the file swap."
+    ),
+    "wal-truncate-pre-commit": (
+        "Inside StreamIngestor.flush(), after the checkpointed journal "
+        "prefix is dropped and the state snapshot staged, but before the "
+        "storage flush commits either.  Recovery reopens the previous "
+        "commit, whose catalog still holds the journal extents, and "
+        "replays them as before."
+    ),
+    "repack-pre-adopt": (
+        "Inside ReachGraphIndex.repack_frontier(), after the packed "
+        "partition's extent is staged but before the superseded frontier "
+        "partitions are retired.  The manifest still describes the "
+        "pre-repack catalog, so recovery reopens the unpacked partitions."
+    ),
 }
 
 #: Every fault point compiled into production code.  ``arm`` validates

@@ -152,6 +152,7 @@ class TestGate:
             "test_async_vs_sync_serving",
             "test_storage_backend_comparison",
             "test_graph_merge_cost",
+            "test_space_reclamation",
             "test_parallel_merge_scaling",
         }
 

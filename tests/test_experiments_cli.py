@@ -118,6 +118,7 @@ class TestExperimentDrivers:
             "stream-async",
             "stream-disk",
             "stream-graph",
+            "stream-space",
             "stream-parallel",
         }
 

@@ -118,13 +118,26 @@ class TestFaultRegistry:
         assert not issubclass(SimulatedCrash, Exception)
 
     def test_every_known_point_is_compiled_into_production_code(self):
+        import repro.reachgraph.index as graph_index
+        import repro.storage.backends.file as file_backend
+        import repro.storage.backends.mmapfile as mmap_backend
         import repro.streaming.coordinator as coordinator
         import repro.streaming.delta as delta
+        import repro.streaming.ingest as ingest
         import repro.streaming.service as service
         import inspect
 
         source = "".join(
-            inspect.getsource(module) for module in (coordinator, delta, service)
+            inspect.getsource(module)
+            for module in (
+                coordinator,
+                delta,
+                service,
+                ingest,
+                graph_index,
+                file_backend,
+                mmap_backend,
+            )
         )
         for point in faults.KNOWN_FAULT_POINTS:
             assert f'crash_point("{point}")' in source, point
@@ -784,3 +797,177 @@ class TestRandomizedKill:
             f"point={point}, crashed={crashed}",
         )
         reopened.close()
+
+
+# ----------------------------------------------------------------------
+# the space-reclamation pipeline's crash points (GC, WAL truncation, repack)
+# ----------------------------------------------------------------------
+SPACE_POINTS = (
+    "gc-pre-commit",
+    "gc-post-copy",
+    "wal-truncate-pre-commit",
+    "repack-pre-adopt",
+)
+
+
+class TestSpaceReclamationKill:
+    """The four reclamation crash points, each killed at a seeded random
+    batch of a stream running the whole space pipeline — policy GC, leveled
+    compaction, frontier repacks, WAL truncation.  A crash anywhere in a
+    reclaim must be invisible after reopen: no resurrected garbage answers,
+    no lost live extents, and the resumed service drives the stream to its
+    horizon in agreement with the batch reference evaluator."""
+
+    @pytest.mark.parametrize("backend", EQUIVALENCE_BACKENDS)
+    @pytest.mark.parametrize("point", SPACE_POINTS)
+    def test_space_point_random_kill_then_reopen_and_resume(
+        self, point, backend, tmp_path, dataset
+    ):
+        rng = random.Random(f"{point}:{backend}")  # str seeds are stable
+        storage_config = backend_storage_config(backend, storage_dir=str(tmp_path))
+        service = make_service(
+            dataset,
+            storage_config,
+            max_delta_contacts=16,
+            compaction_max_runs=2,
+            gc_trigger_ratio=0.3,
+            graph_repack_min_partitions=2,
+        )
+        batches = list(DatasetReplaySource(dataset, batch_ticks=6).batches())
+        # Arm early so reclaim/repack/truncate probes (which fire on merges
+        # and flushes further into the stream) have room to trigger.
+        arm_at = rng.randrange(1, max(2, len(batches) // 2))
+        crashed = False
+        for index, batch in enumerate(batches):
+            if index == arm_at:
+                faults.arm(point)
+            try:
+                service.ingest(batch)
+                service.flush()
+            except SimulatedCrash as crash:
+                assert crash.point == point
+                crashed = True
+                break
+        if crashed:
+            kill_unsharded(service)
+        else:
+            faults.clear()  # the armed point may legitimately never fire
+            service.close()
+
+        reopened = SnapshotQueryService.open(storage_config, name=service.name)
+        assert reopened.watermark is not None
+        assert_reopened_matches_prefix(
+            reopened,
+            dataset,
+            THRESHOLD,
+            random_queries(dataset, count=12, seed=61),
+            context=f"space kill: backend={backend}, point={point}, "
+            f"crashed={crashed}",
+        )
+        reopened.close()
+
+        resumed = StreamingReachabilityService.open(storage_config, name=service.name)
+        recovered = resumed.watermark
+        assert recovered is not None
+        for batch in batches:
+            if batch.watermark > recovered:
+                resumed.ingest(batch)
+        assert resumed.watermark == dataset.horizon.end
+        # A final reclaim on the recovered service: the interrupted pass left
+        # nothing behind that a fresh pass trips over, and the space bound
+        # holds afterwards.
+        resumed.reclaim()
+        overlay = resumed.overlay.storage
+        ingest = resumed.ingestor.storage
+        assert overlay.garbage_blocks == 0
+        assert ingest.garbage_blocks == 0
+        assert_methods_agree(
+            reference_evaluator(prefix_network(dataset, THRESHOLD)),
+            {"resumed": resumed.query},
+            random_queries(dataset, count=12, seed=67),
+            check_earliest=True,
+            context=f"space kill resume: backend={backend}, point={point}",
+        )
+        resumed.close()
+        # No GC scratch file may survive a completed recovery + reclaim.
+        import glob as _glob
+
+        strays = _glob.glob(f"{tmp_path}/*.gc")
+        assert not strays, f"leftover GC scratch files: {strays}"
+
+
+class TestWalTruncation:
+    """Regression tests for the flush-time WAL truncation commit."""
+
+    def test_crash_between_checkpoint_and_commit_replays_old_journal(
+        self, tmp_path, dataset
+    ):
+        """``wal-truncate-pre-commit`` sits after the in-memory truncation
+        and checkpoint write but before the device flush that commits them:
+        a kill there must leave the *previous* durable manifest — old
+        checkpoint, old journal extents — and resume must replay it."""
+        storage_config = backend_storage_config("file", storage_dir=str(tmp_path))
+        service = make_service(
+            dataset, storage_config, max_delta_contacts=10_000
+        )
+        service.auto_merge = False
+        batches = list(DatasetReplaySource(dataset, batch_ticks=6).batches())
+        for batch in batches[:3]:
+            service.ingest(batch)
+            service.flush()
+        committed = service.watermark
+        service.ingest(batches[3])
+        faults.arm("wal-truncate-pre-commit")
+        with pytest.raises(SimulatedCrash):
+            service.flush()
+        kill_unsharded(service)
+
+        resumed = StreamingReachabilityService.open(storage_config, name=service.name)
+        assert resumed.watermark == committed, (
+            "the interrupted truncation must not have committed batch 4"
+        )
+        for batch in batches[3:]:
+            resumed.ingest(batch)
+        assert resumed.watermark == dataset.horizon.end
+        assert_methods_agree(
+            reference_evaluator(prefix_network(dataset, THRESHOLD)),
+            {"resumed": resumed.query},
+            random_queries(dataset, count=12, seed=71),
+            check_earliest=True,
+            require_earliest=True,
+            context="WAL truncation crash, resumed to horizon",
+        )
+        resumed.close()
+
+    def test_reopened_journal_stays_truncated(self, tmp_path, dataset):
+        """A clean close/reopen cycle restores from the state snapshot with
+        an empty WAL, and further flushes keep it empty — truncation
+        survives restarts instead of regressing to full-journal replay."""
+        storage_config = backend_storage_config("mmap", storage_dir=str(tmp_path))
+        service = make_service(
+            dataset, storage_config, max_delta_contacts=10_000
+        )
+        service.auto_merge = False
+        batches = list(DatasetReplaySource(dataset, batch_ticks=6).batches())
+        for batch in batches[:4]:
+            service.ingest(batch)
+        service.close()
+
+        resumed = StreamingReachabilityService.open(storage_config, name=service.name)
+        assert resumed.ingestor.journal_blocks == 0, (
+            "restore must come from the checkpoint snapshot, not a journal"
+        )
+        for batch in batches[4:]:
+            resumed.ingest(batch)
+            resumed.flush()
+            assert resumed.ingestor.journal_blocks == 0
+        assert resumed.watermark == dataset.horizon.end
+        assert_methods_agree(
+            reference_evaluator(prefix_network(dataset, THRESHOLD)),
+            {"resumed": resumed.query},
+            random_queries(dataset, count=12, seed=73),
+            check_earliest=True,
+            require_earliest=True,
+            context="journal stays truncated across reopen",
+        )
+        resumed.close()

@@ -1,0 +1,314 @@
+"""Space-bound suite: device footprint must track live bytes under GC.
+
+The reclamation pipeline this pins: leveled compaction and frontier repacks
+turn superseded snapshot runs and cold graph partitions into catalog garbage,
+WAL truncation keeps the ingest journal from growing with the stream, and
+copy-forward device GC (:meth:`StorageSystem.reclaim`, reached through
+``StreamingReachabilityService.reclaim`` and the ``gc_trigger_ratio`` policy)
+recycles the garbage blocks.  The bound the whole PR promises: after a GC
+pass the device holds at most ``1.5×`` the blocks live structures reference —
+on every backend, in both graph-maintenance modes — while every answer stays
+bit-identical to the batch reference evaluator, including after close/reopen.
+"""
+
+from __future__ import annotations
+
+import glob
+import random
+
+import pytest
+
+from equivalence import (
+    EQUIVALENCE_BACKENDS,
+    assert_methods_agree,
+    assert_reopened_matches_prefix,
+    backend_storage_config,
+    prefix_network,
+    reference_evaluator,
+)
+from repro.core import ContactConfig, ReachGridConfig, StreamingConfig
+from repro.generators import RandomWaypointGenerator
+from repro.streaming import (
+    DatasetReplaySource,
+    SnapshotQueryService,
+    StreamingReachabilityService,
+)
+from repro.workloads.queries import random_queries
+
+THRESHOLD = 30.0
+GRID = ReachGridConfig(temporal_resolution=8, spatial_resolution=60.0)
+CONTACTS = ContactConfig(distance_threshold=THRESHOLD)
+
+#: The sim backend reclaims too (its block store shrinks), so it rides the
+#: same matrix as the persistent devices.
+SPACE_BACKENDS = ("sim",) + EQUIVALENCE_BACKENDS
+
+#: The acceptance bound: post-GC device blocks over live blocks.
+SPACE_BOUND = 1.5
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return RandomWaypointGenerator(
+        num_objects=20, horizon=60, environment_size=(400.0, 400.0), seed=7
+    ).generate()
+
+
+def make_service(dataset, storage_config, **overrides):
+    config = dict(
+        max_delta_contacts=24,
+        compaction_max_runs=2,
+        gc_trigger_ratio=0.35,
+        graph_repack_min_partitions=2,
+    )
+    config.update(overrides)
+    return StreamingReachabilityService.for_dataset(
+        dataset,
+        contact_config=CONTACTS,
+        grid_config=GRID,
+        streaming_config=StreamingConfig(**config),
+        storage_config=storage_config,
+    )
+
+
+def device_blocks(service):
+    return (
+        service.overlay.storage.disk.num_blocks
+        + service.ingestor.storage.disk.num_blocks
+    )
+
+
+def live_blocks(service):
+    return (
+        service.overlay.storage.live_blocks + service.ingestor.storage.live_blocks
+    )
+
+
+def garbage_blocks(service):
+    return (
+        service.overlay.storage.garbage_blocks
+        + service.ingestor.storage.garbage_blocks
+    )
+
+
+def assert_no_stray_gc_files(storage_dir):
+    strays = glob.glob(f"{storage_dir}/*.gc")
+    assert not strays, f"leftover GC scratch files: {strays}"
+
+
+# ----------------------------------------------------------------------
+# the randomized space bound (acceptance: every backend × graph mode)
+# ----------------------------------------------------------------------
+class TestSpaceBound:
+    """Drain a randomized multi-merge stream with the whole reclamation
+    pipeline armed, reclaim, and check the device-over-live bound plus
+    answer fidelity (live and reopened)."""
+
+    # ``graph_mode`` is parametrized by the shared conftest hook (both
+    # maintenance modes, or the one CI's --graph-mode flag pins).
+    @pytest.mark.parametrize("backend", SPACE_BACKENDS)
+    def test_device_blocks_bounded_after_gc(
+        self, backend, graph_mode, tmp_path, dataset
+    ):
+        storage_config = backend_storage_config(backend, storage_dir=str(tmp_path))
+        service = make_service(dataset, storage_config, graph_mode=graph_mode)
+        stats = service.drain(DatasetReplaySource(dataset, batch_ticks=6))
+        assert stats.events > 0
+        assert service.num_merges >= 3, "the stream must force multiple merges"
+        service.reclaim()
+
+        live = live_blocks(service)
+        device = device_blocks(service)
+        assert live > 0
+        assert device <= SPACE_BOUND * live, (
+            f"backend={backend}, graph_mode={graph_mode}: device={device} "
+            f"blocks exceeds {SPACE_BOUND}x live={live}"
+        )
+        # A dense copy-forward leaves no garbage at all right after the pass.
+        assert garbage_blocks(service) == 0
+
+        # Reclaim moves blocks, never answers: the post-GC service still
+        # agrees with the batch reference evaluator over the full stream.
+        workload = random_queries(dataset, count=12, seed=29)
+        assert_methods_agree(
+            reference_evaluator(prefix_network(dataset, THRESHOLD)),
+            {"post-gc": service.query},
+            workload,
+            check_earliest=True,
+            context=f"post-GC, backend={backend}, graph_mode={graph_mode}",
+        )
+
+        if storage_config is None:
+            service.close()
+            return
+        service.close()
+        assert_no_stray_gc_files(tmp_path)
+        reopened = SnapshotQueryService.open(storage_config, name=service.name)
+        assert_reopened_matches_prefix(
+            reopened,
+            dataset,
+            THRESHOLD,
+            workload,
+            context=f"reopen after GC, backend={backend}, graph_mode={graph_mode}",
+        )
+        reopened.close()
+
+    @pytest.mark.parametrize("backend", EQUIVALENCE_BACKENDS)
+    @pytest.mark.parametrize("seed", (0, 1))
+    def test_randomized_reclaim_points_keep_equivalence(
+        self, backend, seed, tmp_path, dataset
+    ):
+        """Reclaim at random watermarks mid-stream; answers never drift.
+
+        The randomized axis of the space suite: a seeded RNG picks batches
+        after which an explicit :meth:`reclaim` runs, and after every such
+        pass the service must agree with the batch reference evaluator over
+        exactly its current watermark prefix (equivalence at every reclaimed
+        watermark), with the device bound holding each time.
+        """
+        rng = random.Random(100 + seed)
+        storage_config = backend_storage_config(backend, storage_dir=str(tmp_path))
+        # Policy GC off: this test drives reclaim() explicitly.
+        service = make_service(dataset, storage_config, gc_trigger_ratio=0.0)
+        workload = random_queries(dataset, count=8, seed=31 + seed)
+        batches = list(DatasetReplaySource(dataset, batch_ticks=6).batches())
+        reclaim_points = sorted(
+            rng.sample(range(1, len(batches)), k=min(3, len(batches) - 1))
+        )
+        reclaimed = 0
+        for index, batch in enumerate(batches):
+            service.ingest(batch)
+            if index in reclaim_points:
+                service.reclaim()
+                reclaimed += 1
+                assert garbage_blocks(service) == 0
+                assert device_blocks(service) <= SPACE_BOUND * live_blocks(service)
+                assert_methods_agree(
+                    reference_evaluator(
+                        prefix_network(dataset, THRESHOLD, through=service.watermark)
+                    ),
+                    {"mid-stream-gc": service.query},
+                    workload,
+                    context=f"reclaim at watermark {service.watermark}, "
+                    f"backend={backend}, seed={seed}",
+                )
+        assert reclaimed == len(reclaim_points)
+        service.close()
+        assert_no_stray_gc_files(tmp_path)
+
+
+# ----------------------------------------------------------------------
+# ledger monotonicity across reclaim passes
+# ----------------------------------------------------------------------
+class TestReclaimLedgers:
+    @pytest.mark.parametrize("backend", SPACE_BACKENDS)
+    def test_ledgers_decrease_monotonically_across_reclaims(
+        self, backend, tmp_path, dataset
+    ):
+        """Each reclaim() drives the garbage ledger to zero and the reclaim
+        counters forward; the device never grows across a pass."""
+        storage_config = backend_storage_config(backend, storage_dir=str(tmp_path))
+        service = make_service(dataset, storage_config, gc_trigger_ratio=0.0)
+        batches = list(DatasetReplaySource(dataset, batch_ticks=6).batches())
+        passes = 0
+        for index, batch in enumerate(batches):
+            service.ingest(batch)
+            if index % 3 != 2:
+                continue
+            service.flush()  # make garbage_blocks reflect a settled catalog
+            garbage_before = garbage_blocks(service)
+            device_before = device_blocks(service)
+            freed = service.reclaim()
+            passes += 1
+            assert garbage_blocks(service) <= garbage_before
+            assert garbage_blocks(service) == 0
+            assert device_blocks(service) <= device_before
+            if garbage_before:
+                assert freed > 0, (
+                    f"pass {passes}: {garbage_before} garbage blocks but "
+                    "reclaim freed nothing"
+                )
+        assert passes >= 3
+        stats = service.stats
+        assert stats.reclaims > 0
+        assert stats.reclaimed_blocks > 0
+        assert (
+            service.overlay.storage.reclaimed_blocks
+            + service.ingestor.storage.reclaimed_blocks
+            == stats.reclaimed_blocks
+        )
+        service.close()
+
+    def test_policy_gc_fires_and_keeps_ratio_bounded(self, tmp_path, dataset):
+        """The gc_trigger_ratio knob: merges keep the garbage ratio at or
+        under the trigger without any explicit reclaim() calls."""
+        storage_config = backend_storage_config("file", storage_dir=str(tmp_path))
+        service = make_service(dataset, storage_config, gc_trigger_ratio=0.35)
+        service.drain(DatasetReplaySource(dataset, batch_ticks=6))
+        assert service.num_reclaims > 0, "policy GC never fired"
+        assert service.reclaimed_blocks > 0
+        # The post-merge trigger bounds the steady-state ratio: right after
+        # the last merge's check the device can hold at most the trigger's
+        # worth of garbage plus whatever the tail batches added since.
+        service.flush()
+        for system in (service.overlay.storage, service.ingestor.storage):
+            assert system.garbage_ratio < 0.5, (
+                f"{system.name}: garbage ratio {system.garbage_ratio:.2f} "
+                "despite policy GC"
+            )
+        service.close()
+
+
+# ----------------------------------------------------------------------
+# WAL truncation: the journal must not grow with the stream
+# ----------------------------------------------------------------------
+class TestJournalBound:
+    def test_journal_bounded_across_fifty_flushes(self, tmp_path):
+        """Fifty ingest+flush cycles: the WAL footprint after every flush is
+        zero (truncation dropped the journaled prefix), and peak journal
+        size between flushes is bounded by one batch — not by the stream."""
+        dataset = RandomWaypointGenerator(
+            num_objects=8, horizon=50, environment_size=(300.0, 300.0), seed=9
+        ).generate()
+        storage_config = backend_storage_config("file", storage_dir=str(tmp_path))
+        service = make_service(
+            dataset, storage_config, max_delta_contacts=10_000
+        )
+        service.auto_merge = False
+        batches = list(DatasetReplaySource(dataset, batch_ticks=1).batches())
+        assert len(batches) >= 50
+        peak_between_flushes = 0
+        for batch in batches[:50]:
+            service.ingest(batch)
+            peak_between_flushes = max(
+                peak_between_flushes, service.ingestor.journal_blocks
+            )
+            service.flush()
+            assert service.ingestor.journal_blocks == 0, (
+                "flush must truncate the WAL"
+            )
+        # One batch journals one extent: the unflushed peak is a handful of
+        # blocks, never the 50-batch stream.
+        assert peak_between_flushes <= 4
+        service.close()
+
+    def test_truncated_journal_blocks_are_reclaimable(self, tmp_path, dataset):
+        """The dropped WAL extents land in the garbage ledger and a device
+        reclaim recycles them: the ingest device shrinks back."""
+        storage_config = backend_storage_config("mmap", storage_dir=str(tmp_path))
+        service = make_service(
+            dataset, storage_config, gc_trigger_ratio=0.0, max_delta_contacts=10_000
+        )
+        service.auto_merge = False
+        for batch in DatasetReplaySource(dataset, batch_ticks=6).batches():
+            service.ingest(batch)
+        service.flush()
+        ingest = service.ingestor.storage
+        assert ingest.garbage_blocks > 0, (
+            "truncation must leave the journaled prefix as reclaimable garbage"
+        )
+        before = ingest.disk.num_blocks
+        service.reclaim()
+        assert ingest.garbage_blocks == 0
+        assert ingest.disk.num_blocks < before
+        service.close()
