@@ -24,6 +24,7 @@ from repro.streaming.experiment import (
     disk_backend_replay,
     graph_merge_replay,
     parallel_merge_replay,
+    query_latency_replay,
     sharded_stream_replay,
     space_replay,
     stream_replay,
@@ -247,3 +248,54 @@ def test_parallel_merge_scaling(benchmark):
             by_cell[("process", 4)]["drain_seconds"]
             < by_cell[("process", 1)]["drain_seconds"] / 0.95
         ), by_cell
+
+
+def test_query_latency(benchmark):
+    """The ``stream-query`` benchmark: the query fast path's three layers.
+
+    Runs positive- and negative-heavy mixes with the interval labels on and
+    off, each as a cold-cache pass followed by a warm-cache repeat.  The
+    acceptance bar of the fast-path issue: on the negative-heavy mix the
+    labels must *measurably* beat the traversal-only configuration (fewer
+    vertices visited, no more IO), the Bloom/zone-map layer must skip work
+    (rejections and the probe's skipped blocks), the partition cache must
+    show hits — and no layer may ever change an answer.
+    """
+    result = run_experiment(
+        benchmark,
+        query_latency_replay,
+        dataset_names=("rwp-small",),
+        batch_ticks=8,
+        num_queries=24,
+        max_delta_contacts=64,
+    )
+    by_cell = {(row["mix"], row["labels"]): row for row in result.rows}
+    assert set(by_cell) == {
+        ("positive-heavy", "on"),
+        ("positive-heavy", "off"),
+        ("negative-heavy", "on"),
+        ("negative-heavy", "off"),
+    }
+    for row in result.rows:
+        # The one-sided-filter contract: every cell matches the reference.
+        assert row["matches"] == f"{24}/{24}"
+        assert row["cold_ms"] > 0 and row["warm_ms"] > 0
+    negative_on = by_cell[("negative-heavy", "on")]
+    negative_off = by_cell[("negative-heavy", "off")]
+    # Label fast path beats traversal-only on the negative-heavy mix: O(1)
+    # rejections and frontier pruning must show up as strictly less traversal
+    # work and no more IO.
+    assert negative_on["label_rejections"] + negative_on["frontier_prunes"] > 0
+    assert negative_on["mean_visited"] < negative_off["mean_visited"]
+    assert negative_on["mean_io"] <= negative_off["mean_io"]
+    assert negative_off["label_rejections"] == 0
+    assert negative_off["frontier_prunes"] == 0
+    # The Bloom layer answers unknown-endpoint queries regardless of labels.
+    assert negative_on["bloom_rejections"] > 0
+    assert negative_off["bloom_rejections"] > 0
+    # The shared partition cache pays across queries within a pass.
+    for row in result.rows:
+        assert row["cache_hit_rate"] > 0
+    # The zone-map probe must have skipped disjoint runs without IO.
+    probe_notes = [note for note in result.notes if "zone-map probe" in note]
+    assert probe_notes and "skipped 0 run(s)" not in probe_notes[0]

@@ -23,7 +23,7 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from ..core.config import GrailConfig, StorageConfig
 from ..core.errors import IndexConstructionError, IndexNotBuiltError, QueryError
@@ -196,7 +196,7 @@ class GrailIndex:
         )
 
     def _dfs_memory(
-        self, current: int, target: int, seen: set, visited_counter: List[int]
+        self, current: int, target: int, seen: Set[int], visited_counter: List[int]
     ) -> bool:
         if current == target:
             return True

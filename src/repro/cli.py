@@ -58,6 +58,7 @@ _QUICK_OVERRIDES = {
     "stream-disk": {"dataset_names": ("rwp-tiny",), "num_queries": 6},
     "stream-space": {"dataset_names": ("rwp-tiny",), "num_queries": 6, "max_delta_contacts": 24},
     "stream-graph": {"dataset_names": ("rwp-tiny",), "num_queries": 6, "max_delta_contacts": 24},
+    "stream-query": {"dataset_names": ("rwp-tiny",), "num_queries": 8, "max_delta_contacts": 24},
     "stream-parallel": {
         "dataset_names": ("rwp-tiny",),
         "num_queries": 6,
@@ -85,6 +86,7 @@ _STORAGE_BACKEND_KWARGS = {
     "stream-space": lambda backend: {"backends": (backend,)},
     "stream-graph": lambda backend: {"storage_backend": backend},
     "stream-parallel": lambda backend: {"storage_backend": backend},
+    "stream-query": lambda backend: {"storage_backend": backend},
 }
 
 #: How --concurrency N is injected, per experiment that serves queries

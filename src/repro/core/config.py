@@ -166,14 +166,27 @@ class ReachGraphConfig:
         traverses.
     partition_depth:
         The disk-placement partition depth ``dp`` (paper optimum: 32).
+    interval_labels:
+        Maintain GRAIL-style min-postorder interval labels over the reduced
+        DAG (see :mod:`repro.reachgraph.labels`).  Labels give queries O(1)
+        negative rejection and frontier pruning; disabling them falls back
+        to pure traversal.
+    label_dirty_ratio:
+        Bound on the incremental label-patch pass: when an increment dirties
+        more than this fraction of the vertex labels, the index relabels
+        from scratch instead (ledger-counted either way).
     """
 
     resolutions: Tuple[int, ...] = DEFAULT_RESOLUTIONS
     partition_depth: int = 32
+    interval_labels: bool = True
+    label_dirty_ratio: float = 0.25
 
     def __post_init__(self) -> None:
         if self.partition_depth <= 0:
             raise ConfigurationError("partition_depth must be positive")
+        if not 0.0 <= self.label_dirty_ratio <= 1.0:
+            raise ConfigurationError("label_dirty_ratio must be within [0, 1]")
         seen = set()
         for resolution in self.resolutions:
             if resolution <= 1:
@@ -194,12 +207,29 @@ class ReachGraphConfig:
     def with_resolutions(self, resolutions: Sequence[int]) -> "ReachGraphConfig":
         """Copy of this config with a different resolution set."""
         return ReachGraphConfig(
-            resolutions=tuple(resolutions), partition_depth=self.partition_depth
+            resolutions=tuple(resolutions),
+            partition_depth=self.partition_depth,
+            interval_labels=self.interval_labels,
+            label_dirty_ratio=self.label_dirty_ratio,
         )
 
     def with_partition_depth(self, depth: int) -> "ReachGraphConfig":
         """Copy of this config with a different partition depth."""
-        return ReachGraphConfig(resolutions=self.resolutions, partition_depth=depth)
+        return ReachGraphConfig(
+            resolutions=self.resolutions,
+            partition_depth=depth,
+            interval_labels=self.interval_labels,
+            label_dirty_ratio=self.label_dirty_ratio,
+        )
+
+    def with_interval_labels(self, enabled: bool) -> "ReachGraphConfig":
+        """Copy of this config with the label fast path toggled."""
+        return ReachGraphConfig(
+            resolutions=self.resolutions,
+            partition_depth=self.partition_depth,
+            interval_labels=enabled,
+            label_dirty_ratio=self.label_dirty_ratio,
+        )
 
 
 #: Merge-policy names understood by :class:`StreamingConfig` and the
@@ -329,6 +359,22 @@ class StreamingConfig:
         Pool size of the ``thread``/``process`` merge executors (ignored by
         ``inline``).  The sharded coordinator shares one pool across all
         shards, so this bounds machine-wide concurrent builds.
+    graph_labels:
+        Maintain GRAIL-style interval labels on the merge-built ReachGraph
+        (see :mod:`repro.reachgraph.labels`): queries reject provable
+        negatives in O(1) and prune traversal frontiers without IO.  Labels
+        are patched inside each incremental merge and persisted through the
+        overlay manifest; disabling them reverts to pure traversal.
+    label_dirty_ratio:
+        Bound on the incremental label patch: an increment dirtying more
+        than this fraction of the labels triggers a full relabel instead
+        (both outcomes ledger-counted in :class:`~repro.streaming.service.StreamingStats`).
+    partition_cache_size:
+        Capacity (in graph partitions) of the cross-query partition cache
+        shared by the sync, async, and parallel query paths.  The cache is
+        generation-stamped and invalidated whenever the graph mutates (merge
+        adoption, repack, rebuild swap).  ``0`` disables it, restoring the
+        per-query-only caching of earlier versions.
     """
 
     batch_ticks: int = 8
@@ -348,6 +394,9 @@ class StreamingConfig:
     graph_mode: str = "incremental"
     merge_executor: str = "inline"
     merge_workers: int = 2
+    graph_labels: bool = True
+    label_dirty_ratio: float = 0.25
+    partition_cache_size: int = 64
 
     def __post_init__(self) -> None:
         if self.batch_ticks <= 0:
@@ -402,6 +451,10 @@ class StreamingConfig:
             )
         if self.merge_workers <= 0:
             raise ConfigurationError("merge_workers must be positive")
+        if not 0.0 <= self.label_dirty_ratio <= 1.0:
+            raise ConfigurationError("label_dirty_ratio must be within [0, 1]")
+        if self.partition_cache_size < 0:
+            raise ConfigurationError("partition_cache_size must be non-negative")
 
     def with_merge_policy(self, policy: str) -> "StreamingConfig":
         """Copy of this config with a different merge policy."""

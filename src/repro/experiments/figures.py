@@ -714,6 +714,13 @@ def _parallel_merge_replay(**kwargs) -> ExperimentResult:
     return parallel_merge_replay(**kwargs)
 
 
+def _query_latency_replay(**kwargs) -> ExperimentResult:
+    """Query fast path: labels on/off latency, cache warmth, zone-map skips."""
+    from ..streaming.experiment import query_latency_replay
+
+    return query_latency_replay(**kwargs)
+
+
 EXPERIMENTS = {
     "table1": table1_complexity,
     "figure8": figure8_grid_resolution,
@@ -735,4 +742,5 @@ EXPERIMENTS = {
     "stream-space": _space_replay,
     "stream-graph": _graph_merge_replay,
     "stream-parallel": _parallel_merge_replay,
+    "stream-query": _query_latency_replay,
 }

@@ -25,8 +25,9 @@ from .index import (
     VertexRecord,
     compute_graph_patch,
 )
+from .labels import ReachLabelIndex
 from .partition import Partitioning, extend_partitioning, partition_hypergraph
-from .query import STRATEGIES, ReachGraphQueryProcessor
+from .query import STRATEGIES, PartitionCache, ReachGraphQueryProcessor
 from .reduction import (
     ReductionCursor,
     ReductionFrontier,
@@ -62,5 +63,7 @@ __all__ = [
     "compute_graph_patch",
     "VertexRecord",
     "ReachGraphQueryProcessor",
+    "ReachLabelIndex",
+    "PartitionCache",
     "STRATEGIES",
 ]

@@ -51,6 +51,7 @@ from .augmentation import (
     window_edges,
 )
 from .dag import ContactDag, DagPatch, DagPatchBuilder, HyperGraph, LongEdgeLayer
+from .labels import ReachLabelIndex
 from .partition import Partitioning, extend_partitioning, partition_hypergraph
 from .reduction import (
     ReductionCursor,
@@ -269,6 +270,9 @@ class ReachGraphIndex:
         self.partitioning: Optional[Partitioning] = None
         self.build_report: Optional[ReachGraphBuildReport] = None
         self._partition_of_vertex: Dict[int, int] = {}
+        # GRAIL-style interval labels (the query fast path); built alongside
+        # the graph when the config enables them and patched per increment.
+        self._labels: Optional[ReachLabelIndex] = None
 
         # Incremental-maintenance state and the write-amplification ledger.
         self._window_cursors: Dict[int, TimeInstant] = {}
@@ -334,6 +338,10 @@ class ReachGraphIndex:
             )
             for resolution in self.config.sorted_resolutions
         }
+        if self.config.interval_labels:
+            self._labels = ReachLabelIndex.build(
+                dag, dirty_ratio=self.config.label_dirty_ratio
+            )
 
         if self._storage is not None:
             self._write_partitions()
@@ -550,6 +558,11 @@ class ReachGraphIndex:
                     dirty.add(source_id)
         self._window_cursors.update(dict(patch.window_cursors))
 
+        # 2b. Patch the interval labels over the grown DAG (long edges are
+        #     shortcuts over DN_1 paths, so labels only track DN_1).
+        if self._labels is not None:
+            self._labels.apply_patch(patch, dag)
+
         # 3. Fresh vertices join fresh partitions (old extents are immutable
         #    in shape); write each new partition as one contiguous extent.
         new_node_ids = [node_id for node_id, _, _, _ in patch.new_nodes]
@@ -705,8 +718,10 @@ class ReachGraphIndex:
 
         Only what the partition extents cannot express is cataloged: the
         configuration, the per-resolution window cursors (the augmentation
-        resumption points), and the write-amplification ledger.  The graph
-        itself is rebuilt from the vertex records on the device.
+        resumption points), the interval labels (ranks depend on the DFS
+        history, so they ride the catalog rather than being recomputed), and
+        the write-amplification ledger.  The graph itself is rebuilt from
+        the vertex records on the device.
         """
         self._require_built()
         return {
@@ -718,6 +733,7 @@ class ReachGraphIndex:
             "increments": self._increments,
             "packed_partitions": sorted(self._packed_partitions),
             "repacks": self._repacks,
+            "labels": self._labels.catalog() if self._labels is not None else None,
         }
 
     @classmethod
@@ -746,6 +762,8 @@ class ReachGraphIndex:
         config = ReachGraphConfig(
             resolutions=resolutions,
             partition_depth=int(catalog["partition_depth"]),  # type: ignore[arg-type]
+            # A service that ran without labels catalogs None; keep it off.
+            interval_labels=catalog.get("labels") is not None,
         )
         index = cls(
             dataset,
@@ -836,6 +854,15 @@ class ReachGraphIndex:
             for partition_id in catalog.get("packed_partitions", ())  # type: ignore[union-attr]
         }
         self._repacks = int(catalog.get("repacks", 0))  # type: ignore[arg-type]
+        labels_catalog = catalog.get("labels")
+        if labels_catalog is not None:
+            labels = ReachLabelIndex.restore(labels_catalog)  # type: ignore[arg-type]
+            if labels.num_labels != dag.num_nodes:
+                raise IndexConstructionError(
+                    f"label catalog covers {labels.num_labels} vertices, "
+                    f"restored DAG has {dag.num_nodes}"
+                )
+            self._labels = labels
         self._built = True
 
         # 5. Reconcile the object-index buckets against the rebuilt DAG.
@@ -950,6 +977,11 @@ class ReachGraphIndex:
     def num_repacks(self) -> int:
         """Frontier repack folds performed since the build."""
         return self._repacks
+
+    @property
+    def labels(self) -> Optional[ReachLabelIndex]:
+        """The interval-label fast path, or ``None`` when disabled."""
+        return self._labels
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         status = "built" if self._built else "not built"

@@ -18,30 +18,113 @@ Three traversal strategies over the same disk-resident hyper graph:
 Every strategy reads vertices through the partition extents written by
 :class:`~repro.reachgraph.index.ReachGraphIndex`; a retrieved partition is
 kept in a per-query cache (the buffer pool underneath also keeps its blocks),
-so vertices of the same partition cost no further IO.
+so vertices of the same partition cost no further IO.  Two read-side
+accelerations sit in front of the traversal:
+
+* when the index carries a :class:`~repro.reachgraph.labels.ReachLabelIndex`,
+  the bidirectional strategies consult it first — a label rejection proves
+  the query unreachable in O(1) with no partition IO, and during traversal
+  the forward frontier drops children that provably cannot reach the
+  destination component while the backward frontier drops predecessors the
+  source component provably cannot reach (both exact: labels only ever
+  reject provable negatives, so answers are bit-identical to pure
+  traversal);
+* an optional cross-query :class:`PartitionCache` — a generation-stamped
+  shared LRU owned by the serving layer — short-circuits partition reads
+  that any earlier query on the same graph generation already paid for.
 """
 
 from __future__ import annotations
 
+import threading
 import time
-from collections import deque
-from typing import Dict, List, Set, Tuple
+from collections import OrderedDict, deque
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..core.errors import QueryError, UnknownObjectError
 from ..core.types import ObjectId, QueryResult, ReachabilityQuery, TimeInstant, TimeInterval
 from .index import ReachGraphIndex, VertexRecord
+from .labels import ReachLabelIndex
 
-__all__ = ["ReachGraphQueryProcessor", "STRATEGIES"]
+__all__ = ["PartitionCache", "ReachGraphQueryProcessor", "STRATEGIES"]
 
 #: The traversal strategies understood by :meth:`ReachGraphQueryProcessor.evaluate`.
 STRATEGIES = ("bm-bfs", "b-bfs", "e-dfs", "e-bfs")
 
 
-class _VertexCache:
-    """Per-query cache of vertex records, filled one partition at a time."""
+class PartitionCache:
+    """A cross-query LRU of partition records, shared by every query path.
 
-    def __init__(self, index: ReachGraphIndex) -> None:
+    Owned by the serving layer (one per delta overlay) and handed to every
+    :class:`ReachGraphQueryProcessor` it creates, so sync, async, and
+    parallel-worker queries against the same graph all share one cache.  The
+    cache is generation-stamped: :meth:`invalidate` empties it and bumps the
+    generation whenever the underlying graph mutates (merge adoption,
+    frontier repack, rebuild swap) — the same bump discipline the
+    parallel query fleet uses for its reopened snapshots.  Thread-safe; a
+    capacity of ``0`` disables caching (every lookup misses).
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self._entries: "OrderedDict[int, Tuple[VertexRecord, ...]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._generation = 1
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def generation(self) -> int:
+        """The current cache generation (bumped by :meth:`invalidate`)."""
+        return self._generation
+
+    def lookup(self, partition_id: int) -> Optional[Tuple[VertexRecord, ...]]:
+        """The cached records of a partition, or ``None`` on a miss."""
+        with self._lock:
+            records = self._entries.get(partition_id)
+            if records is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(partition_id)
+            self.hits += 1
+            return records
+
+    def insert(self, partition_id: int, records: Tuple[VertexRecord, ...]) -> None:
+        """Remember a partition's records, evicting the LRU entry when full."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[partition_id] = records
+            self._entries.move_to_end(partition_id)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def invalidate(self) -> None:
+        """Drop every entry and bump the generation (graph mutated)."""
+        with self._lock:
+            self._entries.clear()
+            self._generation += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class _VertexCache:
+    """Per-query cache of vertex records, filled one partition at a time.
+
+    Consults the shared :class:`PartitionCache` (when one is attached)
+    before paying a partition read; partitions loaded from disk are
+    published back so later queries skip the IO.
+    """
+
+    def __init__(
+        self, index: ReachGraphIndex, shared: Optional[PartitionCache] = None
+    ) -> None:
         self._index = index
+        self._shared = shared
         self._records: Dict[int, VertexRecord] = {}
         self.partitions_read = 0
 
@@ -50,19 +133,47 @@ class _VertexCache:
         if record is not None:
             return record
         partition_id = self._index.partition_of(node_id)
-        for loaded in self._index.read_partition(partition_id):
+        shared = self._shared
+        if shared is not None:
+            cached = shared.lookup(partition_id)
+            if cached is not None:
+                for loaded in cached:
+                    self._records[loaded.node_id] = loaded
+                return self._records[node_id]
+        records = tuple(self._index.read_partition(partition_id))
+        for loaded in records:
             self._records[loaded.node_id] = loaded
         self.partitions_read += 1
+        if shared is not None:
+            shared.insert(partition_id, records)
         return self._records[node_id]
 
 
 class ReachGraphQueryProcessor:
     """Evaluates reachability queries against a built :class:`ReachGraphIndex`."""
 
-    def __init__(self, index: ReachGraphIndex) -> None:
+    def __init__(
+        self,
+        index: ReachGraphIndex,
+        partition_cache: Optional[PartitionCache] = None,
+        use_labels: bool = True,
+    ) -> None:
         if not index.is_built:
             raise QueryError("ReachGraph index must be built before querying")
         self.index = index
+        #: Shared cross-query cache (attached by the serving layer), or None.
+        self.partition_cache = partition_cache
+        #: Consult interval labels when the index carries them.  Exposed as a
+        #: toggle so experiments can measure traversal-only cost on the same
+        #: index without rebuilding it label-free.
+        self.use_labels = use_labels
+        #: Queries answered unreachable by the O(1) label check alone.
+        self.label_rejections = 0
+        #: Frontier expansions skipped because labels proved them useless.
+        self.label_frontier_prunes = 0
+
+    def _labels(self) -> Optional[ReachLabelIndex]:
+        return self.index.labels if self.use_labels else None
 
     # ------------------------------------------------------------------
     # public API
@@ -91,7 +202,7 @@ class ReachGraphQueryProcessor:
         storage.reset_for_query()
         io_before = storage.snapshot()
         cpu_started = time.process_time()
-        cache = _VertexCache(self.index)
+        cache = _VertexCache(self.index, shared=self.partition_cache)
 
         if query.source == query.destination:
             reachable, visited = True, 0
@@ -134,6 +245,15 @@ class ReachGraphQueryProcessor:
         v1 = self.index.find_vertex_id(query.source, t1)
         v2 = self.index.find_vertex_id(query.destination, t2)
 
+        labels = self._labels()
+        if labels is not None and labels.rejects(v1, v2):
+            # The query is reachable iff the DAG reaches v2 from v1 (a
+            # temporal handoff path visits a chain of components connected
+            # by DN_1 edges); a label rejection proves there is no such
+            # path, so the negative needs no partition IO at all.
+            self.label_rejections += 1
+            return False, 0
+
         record1 = cache.get(v1)
         record2 = cache.get(v2)
         objects_forward: Set[ObjectId] = set(record1.members)
@@ -158,6 +278,8 @@ class ReachGraphQueryProcessor:
                     mid,
                     use_long_edges,
                     visited,
+                    labels,
+                    v2,
                 )
                 if found:
                     return True, visited
@@ -171,6 +293,8 @@ class ReachGraphQueryProcessor:
                     mid,
                     t2,
                     visited,
+                    labels,
+                    v1,
                 )
                 if found:
                     return True, visited
@@ -178,7 +302,7 @@ class ReachGraphQueryProcessor:
 
     def _process_forward(
         self,
-        queue: deque,
+        queue: "deque[int]",
         seen: Set[int],
         own_objects: Set[ObjectId],
         other_objects: Set[ObjectId],
@@ -186,6 +310,8 @@ class ReachGraphQueryProcessor:
         mid: TimeInstant,
         use_long_edges: bool,
         visited: int,
+        labels: Optional[ReachLabelIndex],
+        target_vertex: int,
     ) -> Tuple[bool, int]:
         node_id = queue.popleft()
         record = cache.get(node_id)
@@ -212,6 +338,12 @@ class ReachGraphQueryProcessor:
         for target_id in children:
             if target_id in seen:
                 continue
+            # Every vertex of a v1→v2 path reaches v2, so a child the labels
+            # prove cannot reach the destination component contributes
+            # nothing: skip it before paying its partition read.
+            if labels is not None and labels.rejects(target_id, target_vertex):
+                self.label_frontier_prunes += 1
+                continue
             target = cache.get(target_id)
             if target.start > mid:
                 continue
@@ -221,7 +353,7 @@ class ReachGraphQueryProcessor:
 
     def _process_backward(
         self,
-        queue: deque,
+        queue: "deque[int]",
         seen: Set[int],
         own_objects: Set[ObjectId],
         other_objects: Set[ObjectId],
@@ -229,6 +361,8 @@ class ReachGraphQueryProcessor:
         mid: TimeInstant,
         t2: TimeInstant,
         visited: int,
+        labels: Optional[ReachLabelIndex],
+        source_vertex: int,
     ) -> Tuple[bool, int]:
         node_id = queue.popleft()
         record = cache.get(node_id)
@@ -239,6 +373,12 @@ class ReachGraphQueryProcessor:
 
         for source_id in record.predecessors:
             if source_id in seen:
+                continue
+            # Mirror of the forward prune: every vertex of a v1→v2 path is
+            # reachable from v1, so a predecessor the labels prove v1 cannot
+            # reach is useless to the backward half.
+            if labels is not None and labels.rejects(source_vertex, source_id):
+                self.label_frontier_prunes += 1
                 continue
             source = cache.get(source_id)
             # The backward traversal covers components that can still pass the

@@ -42,9 +42,11 @@ from ..testing.faults import crash_point
 from ..trajectory.model import TrajectoryDataset
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.config import ReachGraphConfig
     from ..reachgraph import (
         DagPatch,
         GraphFrontier,
+        PartitionCache,
         ReachGraphIndex,
         ReachGraphQueryProcessor,
     )
@@ -52,12 +54,90 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = [
     "DeltaGraph",
     "ContactSnapshotStore",
+    "ObjectBloomFilter",
     "ReachGraphDeltaOverlay",
     "SnapshotArtifacts",
 ]
 
 #: On-disk record of one snapshot contact: (first, second, start, end).
 ContactRecord = Tuple[ObjectId, ObjectId, TimeInstant, TimeInstant]
+
+_BLOOM_MIX_A = 0x9E3779B97F4A7C15
+_BLOOM_MIX_B = 0xC2B2AE3D27D4EB4F
+_MASK64 = (1 << 64) - 1
+
+
+class ObjectBloomFilter:
+    """A stdlib-only Bloom filter over the object ids of one snapshot run.
+
+    Part of the run's zone map: ``may_contain`` answers "could this object
+    appear in any contact of the run?" with one-sided error — a ``False``
+    is exact (the object is certainly absent), a ``True`` may be a false
+    positive that simply falls through to the disk read it would have paid
+    anyway.  Hashing is multiplicative (two 64-bit odd constants, ``k``
+    derived probes), deterministic across processes — no ``PYTHONHASHSEED``
+    dependence — so a filter restored from a manifest answers identically.
+    """
+
+    __slots__ = ("num_bits", "num_hashes", "bits")
+
+    def __init__(self, num_bits: int, num_hashes: int, bits: int = 0) -> None:
+        if num_bits <= 0:
+            raise StreamingError("bloom filter needs a positive bit count")
+        if num_hashes <= 0:
+            raise StreamingError("bloom filter needs a positive hash count")
+        self.num_bits = num_bits
+        self.num_hashes = num_hashes
+        self.bits = bits
+
+    @classmethod
+    def from_objects(
+        cls, objects: Iterable[ObjectId], bits_per_object: int = 10
+    ) -> "ObjectBloomFilter":
+        """Build a filter sized ``bits_per_object`` per distinct object (k=4)."""
+        distinct = set(objects)
+        num_bits = max(64, bits_per_object * max(1, len(distinct)))
+        bloom = cls(num_bits=num_bits, num_hashes=4)
+        for object_id in distinct:
+            bloom.add(object_id)
+        return bloom
+
+    def _probes(self, object_id: ObjectId) -> Iterable[int]:
+        base = ((int(object_id) + 1) * _BLOOM_MIX_A) & _MASK64
+        step = ((int(object_id) + 1) * _BLOOM_MIX_B | 1) & _MASK64
+        for i in range(self.num_hashes):
+            mixed = (base + i * step) & _MASK64
+            mixed ^= mixed >> 29
+            yield mixed % self.num_bits
+
+    def add(self, object_id: ObjectId) -> None:
+        """Insert an object id."""
+        for probe in self._probes(object_id):
+            self.bits |= 1 << probe
+
+    def may_contain(self, object_id: ObjectId) -> bool:
+        """``False`` proves absence; ``True`` means "possibly present"."""
+        for probe in self._probes(object_id):
+            if not (self.bits >> probe) & 1:
+                return False
+        return True
+
+    def to_manifest(self) -> Dict[str, object]:
+        """Picklable description for the run manifest."""
+        return {
+            "num_bits": self.num_bits,
+            "num_hashes": self.num_hashes,
+            "bits": self.bits,
+        }
+
+    @classmethod
+    def from_manifest(cls, manifest: Dict[str, object]) -> "ObjectBloomFilter":
+        """Rebuild a filter from :meth:`to_manifest` output."""
+        return cls(
+            num_bits=int(manifest["num_bits"]),  # type: ignore[arg-type]
+            num_hashes=int(manifest["num_hashes"]),  # type: ignore[arg-type]
+            bits=int(manifest["bits"]),  # type: ignore[arg-type]
+        )
 
 
 @dataclass(frozen=True, slots=True)
@@ -120,9 +200,16 @@ class _SnapshotRun:
     merges append at level 0, and each compaction folds an overfull level's
     runs into a single run one level up, so a run at level ``L`` holds on
     the order of ``fanout**L`` merges' worth of contacts.
+
+    ``min_time``/``max_time``/``bloom`` form the run's *zone map*, written
+    with the run and carried through the manifest: the time bounds let a
+    read skip the whole run when its span is disjoint from the query
+    interval, and the object-id Bloom filter lets the overlay prove an
+    object appears in no snapshot contact at all.  Runs restored from
+    manifests that predate zone maps carry ``None`` and are never skipped.
     """
 
-    __slots__ = ("file", "max_end", "num_contacts", "level")
+    __slots__ = ("file", "max_end", "num_contacts", "level", "min_time", "max_time", "bloom")
 
     def __init__(
         self,
@@ -130,11 +217,23 @@ class _SnapshotRun:
         max_end: Dict[int, TimeInstant],
         num_contacts: int,
         level: int = 0,
+        min_time: Optional[TimeInstant] = None,
+        max_time: Optional[TimeInstant] = None,
+        bloom: Optional[ObjectBloomFilter] = None,
     ) -> None:
         self.file = file
         self.max_end = max_end
         self.num_contacts = num_contacts
         self.level = level
+        self.min_time = min_time
+        self.max_time = max_time
+        self.bloom = bloom
+
+    def disjoint_from(self, interval: TimeInterval) -> bool:
+        """True when the zone map proves no contact overlaps ``interval``."""
+        if self.min_time is None or self.max_time is None:
+            return False
+        return self.min_time > interval.end or self.max_time < interval.start
 
 
 class ContactSnapshotStore:
@@ -183,6 +282,9 @@ class ContactSnapshotStore:
         self._level_records_written: Dict[int, int] = {}
         self._superseded_blocks = 0
         self._compactions = 0
+        # Read-side zone-map ledgers (in-memory; reads are not durable state).
+        self._runs_skipped = 0
+        self._blocks_skipped = 0
         initial = list(contacts)
         if initial:
             self.append_run(initial)
@@ -210,16 +312,34 @@ class ContactSnapshotStore:
         file = self._storage.new_blockfile(f"{self._name}-run{self._run_counter}")
         max_end: Dict[int, TimeInstant] = {}
         count = 0
+        min_time: Optional[TimeInstant] = None
+        max_time: Optional[TimeInstant] = None
+        objects: set = set()
         for index in sorted(grouped):
             records = sorted(grouped[index], key=lambda r: (r[2], r[0], r[1]))
             file.append_extent(index, records)
             max_end[index] = max(record[3] for record in records)
             count += len(records)
+            for first, second, start, end in records:
+                if min_time is None or start < min_time:
+                    min_time = start
+                if max_time is None or end > max_time:
+                    max_time = end
+                objects.add(first)
+                objects.add(second)
         self._records_written += count
         self._level_records_written[level] = (
             self._level_records_written.get(level, 0) + count
         )
-        return _SnapshotRun(file, max_end, count, level=level)
+        return _SnapshotRun(
+            file,
+            max_end,
+            count,
+            level=level,
+            min_time=min_time,
+            max_time=max_time,
+            bloom=ObjectBloomFilter.from_objects(objects),
+        )
 
     def append_run(self, contacts: Iterable[Contact]) -> int:
         """Append one run holding ``contacts``; returns the records written.
@@ -353,6 +473,29 @@ class ContactSnapshotStore:
         """Zero the superseded ledger after a device reclaim recycled it."""
         self._superseded_blocks = 0
 
+    @property
+    def runs_skipped(self) -> int:
+        """Runs whose zone map let a read skip them entirely (read ledger)."""
+        return self._runs_skipped
+
+    @property
+    def blocks_skipped(self) -> int:
+        """Device blocks reads avoided thanks to run zone maps (read ledger)."""
+        return self._blocks_skipped
+
+    def may_contain(self, object_id: ObjectId) -> bool:
+        """Could any snapshot contact involve ``object_id``?
+
+        ``False`` is exact — every live run's Bloom filter proves the object
+        absent, so no snapshot contact can involve it.  Runs restored from
+        pre-zone-map manifests have no filter and conservatively answer
+        ``True``.
+        """
+        for run in self._runs:
+            if run.bloom is None or run.bloom.may_contain(object_id):
+                return True
+        return False
+
     # ------------------------------------------------------------------
     # reading
     # ------------------------------------------------------------------
@@ -360,6 +503,12 @@ class ContactSnapshotStore:
         """Read (and charge IO for) the snapshot contacts overlapping ``interval``."""
         contacts: List[Contact] = []
         for run in self._runs:
+            if run.disjoint_from(interval):
+                # The run's zone map proves its whole time span misses the
+                # query interval: skip every extent without any IO.
+                self._runs_skipped += 1
+                self._blocks_skipped += run.file.num_blocks
+                continue
             for index in run.file.extent_keys():
                 extent_start = self._origin + index * self._rt
                 if extent_start > interval.end:
@@ -392,6 +541,11 @@ class ContactSnapshotStore:
                     "max_end": dict(run.max_end),
                     "num_contacts": run.num_contacts,
                     "level": run.level,
+                    "min_time": run.min_time,
+                    "max_time": run.max_time,
+                    "bloom": (
+                        run.bloom.to_manifest() if run.bloom is not None else None
+                    ),
                 }
                 for run in self._runs
             ],
@@ -421,12 +575,20 @@ class ContactSnapshotStore:
         store._superseded_blocks = manifest["superseded_blocks"]  # type: ignore[assignment]
         store._compactions = manifest["compactions"]  # type: ignore[assignment]
         for entry in manifest["runs"]:  # type: ignore[union-attr]
+            bloom_manifest = entry.get("bloom")
             store._runs.append(
                 _SnapshotRun(
                     storage.blockfile(entry["file"]),
                     dict(entry["max_end"]),
                     entry["num_contacts"],
                     level=entry.get("level", 0),  # type: ignore[union-attr]
+                    min_time=entry.get("min_time"),
+                    max_time=entry.get("max_time"),
+                    bloom=(
+                        ObjectBloomFilter.from_manifest(bloom_manifest)
+                        if bloom_manifest is not None
+                        else None
+                    ),
                 )
             )
         # A crash between a fold's run write and the manifest commit leaves
@@ -444,6 +606,8 @@ class ReachGraphDeltaOverlay:
     """Snapshot + delta pair answering queries over the full ingested prefix."""
 
     def __init__(self, storage: StorageSystem) -> None:
+        from ..reachgraph.query import PartitionCache
+
         self._storage = storage
         self._delta = DeltaGraph()
         self._store: Optional[ContactSnapshotStore] = None
@@ -459,6 +623,15 @@ class ReachGraphDeltaOverlay:
         self._graph_records_written = 0
         self._graph_rebuilds = 0
         self._graph_superseded_base = 0
+        # Cross-query partition cache, shared by every processor this overlay
+        # ever attaches; invalidated whenever the graph mutates.  The serving
+        # layer resizes it from StreamingConfig.partition_cache_size.
+        self._partition_cache = PartitionCache()
+        # Query-path counters retired processors fold into (a rebuild-mode
+        # merge swaps the processor, which would otherwise reset them).
+        self._label_rejections_base = 0
+        self._label_prunes_base = 0
+        self._bloom_rejections = 0
 
     # ------------------------------------------------------------------
     # delta maintenance
@@ -486,6 +659,7 @@ class ReachGraphDeltaOverlay:
         temporal_resolution: int,
         distance_threshold: float,
         build_reachgraph: bool = True,
+        graph_config: Optional["ReachGraphConfig"] = None,
     ) -> None:
         """Replace the snapshot with a fresh one over the full prefix.
 
@@ -516,14 +690,18 @@ class ReachGraphDeltaOverlay:
             self._graph_version += 1
             index = ReachGraphIndex(
                 dataset,
+                config=graph_config,
                 contact_config=None,
                 contact_network=self._network,
                 storage=self._storage,
                 name=f"graph-v{self._graph_version}",
             ).build()
-            self._processor = ReachGraphQueryProcessor(index)
+            self._processor = ReachGraphQueryProcessor(
+                index, partition_cache=self._partition_cache
+            )
             self._graph_records_written += index.records_written
             self._graph_rebuilds += 1
+        self._partition_cache.invalidate()
         self._snapshot_watermark = watermark
         self._delta.clear()
 
@@ -576,15 +754,21 @@ class ReachGraphDeltaOverlay:
             artifacts.pending_index.place(
                 self._storage, name=f"graph-v{self._graph_version}"
             )
-            self._processor = ReachGraphQueryProcessor(artifacts.pending_index)
+            self._processor = ReachGraphQueryProcessor(
+                artifacts.pending_index, partition_cache=self._partition_cache
+            )
             self._graph_records_written += artifacts.pending_index.records_written
             self._graph_rebuilds += 1
         else:
             self._retire_processor()
             self._processor = artifacts.processor
             if artifacts.processor is not None:
+                artifacts.processor.partition_cache = self._partition_cache
                 self._graph_records_written += artifacts.processor.index.records_written
                 self._graph_rebuilds += 1
+        # Whatever branch ran, the graph the cache was stamped against is
+        # gone (patched in place or swapped): start a fresh generation.
+        self._partition_cache.invalidate()
         if self._store is None:
             self._version += 1
             self._store = ContactSnapshotStore(
@@ -615,6 +799,8 @@ class ReachGraphDeltaOverlay:
         """
         if self._processor is not None:
             index = self._processor.index
+            self._label_rejections_base += self._processor.label_rejections
+            self._label_prunes_base += self._processor.label_frontier_prunes
             self._graph_superseded_base += index.superseded_blocks
             if index.is_placed and index.storage is self._storage:
                 retired = 0
@@ -663,6 +849,27 @@ class ReachGraphDeltaOverlay:
             self._store.reset_superseded()
         self._graph_superseded_base = 0
 
+    def configure_partition_cache(self, capacity: int) -> None:
+        """Resize the cross-query partition cache (the service applies config).
+
+        Replaces the cache with a fresh one of ``capacity`` partitions and
+        re-attaches it to the live processor (``0`` disables caching).
+        """
+        from ..reachgraph.query import PartitionCache
+
+        self._partition_cache = PartitionCache(capacity=capacity)
+        if self._processor is not None:
+            self._processor.partition_cache = self._partition_cache
+
+    def note_graph_mutated(self) -> None:
+        """Invalidate the partition cache after an out-of-band graph mutation.
+
+        Merge adoptions invalidate automatically; the service calls this
+        after maintenance that rewrites partitions without an adoption — a
+        frontier repack retires fragment partition ids in place.
+        """
+        self._partition_cache.invalidate()
+
     # ------------------------------------------------------------------
     # persistence (used by the service's close/reopen cycle)
     # ------------------------------------------------------------------
@@ -706,6 +913,8 @@ class ReachGraphDeltaOverlay:
         graph file-name counter so later rebuilds never collide on a name.
         """
         self._processor = processor
+        processor.partition_cache = self._partition_cache
+        self._partition_cache.invalidate()
         self._network = network
         self._graph_version = version
 
@@ -781,6 +990,61 @@ class ReachGraphDeltaOverlay:
             else 0
         )
         return self._graph_superseded_base + current
+
+    @property
+    def partition_cache(self) -> "PartitionCache":
+        """The overlay-owned cross-query partition cache."""
+        return self._partition_cache
+
+    @property
+    def label_rejections(self) -> int:
+        """Queries the label fast path answered unreachable without traversal."""
+        current = (
+            self._processor.label_rejections if self._processor is not None else 0
+        )
+        return self._label_rejections_base + current
+
+    @property
+    def label_frontier_prunes(self) -> int:
+        """Frontier expansions the labels let the traversal skip."""
+        current = (
+            self._processor.label_frontier_prunes
+            if self._processor is not None
+            else 0
+        )
+        return self._label_prunes_base + current
+
+    @property
+    def label_relabels(self) -> int:
+        """Incremental label-patch passes the live index has run."""
+        labels = self._live_labels()
+        return labels.incremental_passes if labels is not None else 0
+
+    @property
+    def label_full_relabels(self) -> int:
+        """Full relabels forced by oversized dirty sets on the live index."""
+        labels = self._live_labels()
+        return labels.full_relabels if labels is not None else 0
+
+    def _live_labels(self):  # -> Optional[ReachLabelIndex]
+        if self._processor is None:
+            return None
+        return self._processor.index.labels
+
+    @property
+    def bloom_rejections(self) -> int:
+        """Union-path queries answered unreachable by the run Bloom filters."""
+        return self._bloom_rejections
+
+    @property
+    def snapshot_runs_skipped(self) -> int:
+        """Runs the store's zone maps let reads skip (0 before any merge)."""
+        return self._store.runs_skipped if self._store is not None else 0
+
+    @property
+    def snapshot_blocks_skipped(self) -> int:
+        """Blocks the store's zone maps let reads skip (0 before any merge)."""
+        return self._store.blocks_skipped if self._store is not None else 0
 
     @property
     def amplification(self) -> float:
@@ -860,6 +1124,24 @@ class ReachGraphDeltaOverlay:
         ):
             return self._processor.evaluate(query)
 
+        if query.source != query.destination and self._bloom_rejects(
+            query, delta_relevant, open_relevant
+        ):
+            # Sound negative: some endpoint appears in no snapshot run (the
+            # Bloom filters prove it) and in no relevant delta/open contact,
+            # so no temporal path can start (or end) at it — answer without
+            # reading a single snapshot block.
+            self._bloom_rejections += 1
+            return QueryResult(
+                reachable=False,
+                earliest_time=None,
+                io=0.0,
+                random_ios=0,
+                sequential_ios=0,
+                cpu_seconds=0.0,
+                visited=0,
+            )
+
         cpu_started = time.process_time()
         self._storage.reset_for_query()
         io_before = self._storage.snapshot()
@@ -884,6 +1166,37 @@ class ReachGraphDeltaOverlay:
             cpu_seconds=time.process_time() - cpu_started,
             visited=len(contacts),
         )
+
+    def _bloom_rejects(
+        self,
+        query: ReachabilityQuery,
+        delta_relevant: Sequence[Contact],
+        open_relevant: Sequence[Contact],
+    ) -> bool:
+        """True when an endpoint provably touches no contact the union path sees.
+
+        A temporal path must leave the source through a contact involving it
+        (and likewise arrive at the destination), and every contact the union
+        path consults lives in the snapshot store, the relevant delta slice,
+        or the relevant open slice.  Bloom ``False`` answers are exact, so
+        this rejection never flips a reachable query; false positives just
+        fall through to the normal read path.
+        """
+        for endpoint in (query.source, query.destination):
+            if self._store is not None and self._store.may_contain(endpoint):
+                continue
+            if any(
+                contact.first == endpoint or contact.second == endpoint
+                for contact in delta_relevant
+            ):
+                continue
+            if any(
+                contact.first == endpoint or contact.second == endpoint
+                for contact in open_relevant
+            ):
+                continue
+            return True
+        return False
 
     def _fast_path_applicable(self, query: ReachabilityQuery) -> bool:
         dataset = self._network.dataset if self._network is not None else None

@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.config import (
     ContactConfig,
+    ReachGraphConfig,
     ReachGridConfig,
     StorageConfig,
     StreamingConfig,
@@ -148,6 +149,9 @@ class MergeInputs:
     the merge should *patch* the graph instead of rebuilding it — ``None``
     when no index exists yet (the first merge builds one), when the config
     asks for rebuilds, or when the service skips the fast path entirely.
+    ``graph_labels``/``label_dirty_ratio`` freeze the query-fast-path knobs
+    the built index must honour (captured alongside the prefix so a config
+    change between prepare and adopt cannot split-brain the build).
     """
 
     prefix: TrajectoryDataset
@@ -160,6 +164,8 @@ class MergeInputs:
     mode: str
     graph_mode: str = "incremental"
     graph_frontier: Optional["GraphFrontier"] = None
+    graph_labels: bool = True
+    label_dirty_ratio: float = 0.25
 
 
 @dataclass(frozen=True, slots=True)
@@ -199,8 +205,17 @@ def build_snapshot_overlay(
         temporal_resolution=inputs.temporal_resolution,
         distance_threshold=inputs.distance_threshold,
         build_reachgraph=inputs.build_reachgraph,
+        graph_config=_graph_config(inputs),
     )
     return overlay
+
+
+def _graph_config(inputs: MergeInputs) -> ReachGraphConfig:
+    """The ReachGraph configuration frozen into a merge's inputs."""
+    return ReachGraphConfig(
+        interval_labels=inputs.graph_labels,
+        label_dirty_ratio=inputs.label_dirty_ratio,
+    )
 
 
 def build_snapshot_artifacts(inputs: MergeInputs) -> SnapshotArtifacts:
@@ -234,6 +249,7 @@ def build_snapshot_artifacts(inputs: MergeInputs) -> SnapshotArtifacts:
             # the overlay's own device, where close/reopen can find it.
             pending_index = ReachGraphIndex(
                 inputs.prefix,
+                config=_graph_config(inputs),
                 contact_config=None,
                 contact_network=network,
                 defer_placement=True,
@@ -288,6 +304,15 @@ class StreamingStats:
     reclaims: int = 0
     reclaimed_blocks: int = 0
     graph_repacks: int = 0
+    label_rejections: int = 0
+    label_frontier_prunes: int = 0
+    label_relabels: int = 0
+    label_full_relabels: int = 0
+    bloom_rejections: int = 0
+    partition_cache_hits: int = 0
+    partition_cache_misses: int = 0
+    snapshot_runs_skipped: int = 0
+    snapshot_blocks_skipped: int = 0
 
     @property
     def events_per_second(self) -> float:
@@ -357,7 +382,22 @@ class StreamingReachabilityService:
         self._graph_repacks = 0
         self._reclaims = 0
         self._reclaimed_blocks = 0
+        # Fast-path counter bases: rebuild-mode merges swap the overlay out
+        # wholesale, so the superseded overlay's query-side ledgers are folded
+        # in here to keep the service-lifetime stats monotonic.
+        self._label_rejections_base = 0
+        self._label_prunes_base = 0
+        self._label_relabels_base = 0
+        self._label_full_relabels_base = 0
+        self._bloom_rejections_base = 0
+        self._pcache_hits_base = 0
+        self._pcache_misses_base = 0
+        self._runs_skipped_base = 0
+        self._blocks_skipped_base = 0
         self._closed = False
+        self._overlay.configure_partition_cache(
+            self.streaming_config.partition_cache_size
+        )
 
     # ------------------------------------------------------------------
     # constructors
@@ -583,6 +623,8 @@ class StreamingReachabilityService:
             mode=mode,
             graph_mode=graph_mode,
             graph_frontier=graph_frontier,
+            graph_labels=self.streaming_config.graph_labels,
+            label_dirty_ratio=self.streaming_config.label_dirty_ratio,
         )
 
     def adopt_merge(self, build: MergeBuild, inputs: MergeInputs) -> None:
@@ -650,7 +692,12 @@ class StreamingReachabilityService:
             return
         repacks_before = index.num_repacks
         self._graph_records_written += index.repack_frontier(min_partitions)
-        self._graph_repacks += index.num_repacks - repacks_before
+        repacked = index.num_repacks - repacks_before
+        self._graph_repacks += repacked
+        if repacked:
+            # A repack rewrites partition extents in place; any cached
+            # partition payloads may now describe stale block placements.
+            self._overlay.note_graph_mutated()
 
     def adopt_snapshot(
         self, overlay: ReachGraphDeltaOverlay, bound: TimeInstant
@@ -670,6 +717,16 @@ class StreamingReachabilityService:
         self._snapshot_records_written += overlay.snapshot_records_written
         self._graph_records_written += overlay.graph_records_written
         self._graph_rebuilds += overlay.graph_rebuilds
+        self._label_rejections_base += previous.label_rejections
+        self._label_prunes_base += previous.label_frontier_prunes
+        self._label_relabels_base += previous.label_relabels
+        self._label_full_relabels_base += previous.label_full_relabels
+        self._bloom_rejections_base += previous.bloom_rejections
+        self._pcache_hits_base += previous.partition_cache.hits
+        self._pcache_misses_base += previous.partition_cache.misses
+        self._runs_skipped_base += previous.snapshot_runs_skipped
+        self._blocks_skipped_base += previous.snapshot_blocks_skipped
+        overlay.configure_partition_cache(self.streaming_config.partition_cache_size)
         self._overlay = overlay
         self._finish_adopt(bound)
         if previous is not overlay and previous.storage is not overlay.storage:
@@ -932,6 +989,23 @@ class StreamingReachabilityService:
             reclaims=self._reclaims,
             reclaimed_blocks=self._reclaimed_blocks,
             graph_repacks=self._graph_repacks,
+            label_rejections=self._label_rejections_base
+            + self._overlay.label_rejections,
+            label_frontier_prunes=self._label_prunes_base
+            + self._overlay.label_frontier_prunes,
+            label_relabels=self._label_relabels_base + self._overlay.label_relabels,
+            label_full_relabels=self._label_full_relabels_base
+            + self._overlay.label_full_relabels,
+            bloom_rejections=self._bloom_rejections_base
+            + self._overlay.bloom_rejections,
+            partition_cache_hits=self._pcache_hits_base
+            + self._overlay.partition_cache.hits,
+            partition_cache_misses=self._pcache_misses_base
+            + self._overlay.partition_cache.misses,
+            snapshot_runs_skipped=self._runs_skipped_base
+            + self._overlay.snapshot_runs_skipped,
+            snapshot_blocks_skipped=self._blocks_skipped_base
+            + self._overlay.snapshot_blocks_skipped,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

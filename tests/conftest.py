@@ -45,6 +45,15 @@ def pytest_addoption(parser):
             "maintenance mode only (default: both)"
         ),
     )
+    parser.addoption(
+        "--labels",
+        choices=("on", "off"),
+        default=None,
+        help=(
+            "run label-parametrized query-fast-path tests with the interval "
+            "label index enabled or disabled only (default: both)"
+        ),
+    )
 
 
 @pytest.fixture(autouse=True)
@@ -73,6 +82,10 @@ def pytest_generate_tests(metafunc):
         chosen = metafunc.config.getoption("graph_mode", default=None)
         modes = (chosen,) if chosen else ("incremental", "rebuild")
         metafunc.parametrize("graph_mode", modes)
+    if "graph_labels" in metafunc.fixturenames:
+        chosen = metafunc.config.getoption("labels", default=None)
+        label_modes = (chosen == "on",) if chosen else (True, False)
+        metafunc.parametrize("graph_labels", label_modes)
 
 # ----------------------------------------------------------------------
 # Figure 1 scenario (ground truth from the paper)

@@ -33,6 +33,7 @@ from repro.trajectory.model import TrajectoryDataset
 __all__ = [
     "EQUIVALENCE_BACKENDS",
     "EQUIVALENCE_GRAPH_MODES",
+    "EQUIVALENCE_LABEL_MODES",
     "EQUIVALENCE_MERGE_EXECUTORS",
     "backend_storage_config",
     "prefix_network",
@@ -58,6 +59,13 @@ EQUIVALENCE_GRAPH_MODES = GRAPH_MODES
 #: an answer.  The adopt phase always runs on the owning thread, so every
 #: executor kind commits byte-identical snapshots.
 EQUIVALENCE_MERGE_EXECUTORS = MERGE_EXECUTORS
+
+#: The interval-label axis: whether the ReachGraph fast path consults the
+#: GRAIL-style label index (O(1) negative rejection + frontier pruning) or
+#: traverses unpruned must never change an answer — labels are a one-sided
+#: filter whose ``True`` verdicts are provably exact, so both settings answer
+#: bit-identically at every watermark.
+EQUIVALENCE_LABEL_MODES = (True, False)
 
 
 def backend_storage_config(

@@ -154,6 +154,7 @@ class TestGate:
             "test_graph_merge_cost",
             "test_space_reclamation",
             "test_parallel_merge_scaling",
+            "test_query_latency",
         }
 
 

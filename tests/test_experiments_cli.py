@@ -120,6 +120,7 @@ class TestExperimentDrivers:
             "stream-graph",
             "stream-space",
             "stream-parallel",
+            "stream-query",
         }
 
     def test_table1_is_static(self):

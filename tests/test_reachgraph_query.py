@@ -150,13 +150,22 @@ class TestReachGraphQueryProcessing:
         assert result.reachable
 
     def test_queries_charge_io_and_count_visits(self, tiny_reachgraph, tiny_network):
-        processor = ReachGraphQueryProcessor(tiny_reachgraph)
+        # use_labels=False pins the unpruned traversal: with labels on, this
+        # unreachable pair is rejected from the interval labels alone and
+        # legitimately visits nothing.
+        processor = ReachGraphQueryProcessor(tiny_reachgraph, use_labels=False)
         objects = tiny_network.object_ids
         result = processor.evaluate(
             ReachabilityQuery(objects[0], objects[-1], TimeInterval(0, 100))
         )
         assert result.io > 0
         assert result.visited > 0
+        # The label layer answers the same query with zero vertex visits.
+        labelled = ReachGraphQueryProcessor(tiny_reachgraph).evaluate(
+            ReachabilityQuery(objects[0], objects[-1], TimeInterval(0, 100))
+        )
+        assert not labelled.reachable
+        assert labelled.visited == 0
 
     def test_bmbfs_visits_no_more_than_bbfs(self, tiny_reachgraph, tiny_network):
         """The multi-resolution traversal should never explore more vertices
